@@ -1,0 +1,287 @@
+//! Global load adjustment (Section V-B).
+//!
+//! Local adjustment shifts cells between a pair of workers, but when the
+//! whole data distribution drifts the current partitioning strategy itself
+//! degrades. The global adjuster periodically re-runs the workload
+//! partitioner on a recent sample and decides whether to switch to the new
+//! routing table. To avoid a massive one-shot migration, the system keeps
+//! **two** routing tables during the handover: the old table keeps routing
+//! traffic for the STS queries registered before the repartitioning, while
+//! new insertions follow the new table; once the population of old queries
+//! has shrunk below a threshold, the remaining ones are migrated and the old
+//! table is dropped. [`HandoverState`] models that protocol.
+
+use ps2stream_partition::{
+    evaluate_distribution, CostConstants, Partitioner, RoutingTable, WorkloadSample,
+};
+
+/// Configuration of the global adjuster.
+#[derive(Debug, Clone)]
+pub struct GlobalAdjusterConfig {
+    /// Minimum relative improvement of the total load (or of the balance
+    /// factor) required before a repartitioning is adopted.
+    pub min_improvement: f64,
+    /// Number of periods between repartitioning checks (the paper suggests a
+    /// long period, e.g. once per day).
+    pub check_every: u64,
+    /// Fraction of old queries below which the final migration is performed
+    /// and the old routing table is dropped.
+    pub drain_threshold: f64,
+    /// Cost constants used to compare distributions.
+    pub costs: CostConstants,
+}
+
+impl Default for GlobalAdjusterConfig {
+    fn default() -> Self {
+        Self {
+            min_improvement: 0.10,
+            check_every: 10,
+            drain_threshold: 0.2,
+            costs: CostConstants::default(),
+        }
+    }
+}
+
+/// Outcome of a repartitioning check.
+#[derive(Debug)]
+pub enum GlobalDecision {
+    /// The current routing remains good enough.
+    Keep,
+    /// A new routing table should be adopted (handover starts).
+    Repartition(Box<RoutingTable>),
+}
+
+/// The global load adjuster.
+#[derive(Debug, Clone)]
+pub struct GlobalAdjuster {
+    config: GlobalAdjusterConfig,
+    periods_since_check: u64,
+}
+
+impl GlobalAdjuster {
+    /// Creates an adjuster.
+    pub fn new(config: GlobalAdjusterConfig) -> Self {
+        Self {
+            config,
+            periods_since_check: 0,
+        }
+    }
+
+    /// The configured check interval.
+    pub fn check_every(&self) -> u64 {
+        self.config.check_every
+    }
+
+    /// Advances the period counter and returns true if a repartitioning check
+    /// is due.
+    pub fn tick(&mut self) -> bool {
+        self.periods_since_check += 1;
+        if self.periods_since_check >= self.config.check_every {
+            self.periods_since_check = 0;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Compares the current routing table against a freshly computed one on
+    /// the given sample and decides whether a repartitioning is worthwhile.
+    pub fn check(
+        &self,
+        current: &RoutingTable,
+        partitioner: &dyn Partitioner,
+        sample: &WorkloadSample,
+        num_workers: usize,
+    ) -> GlobalDecision {
+        if sample.is_empty() {
+            return GlobalDecision::Keep;
+        }
+        let mut current_clone = current.clone();
+        let current_summary =
+            evaluate_distribution(&mut current_clone, sample, self.config.costs);
+        let mut candidate = partitioner.partition(sample, num_workers);
+        let candidate_summary =
+            evaluate_distribution(&mut candidate, sample, self.config.costs);
+
+        let cur_load = current_summary.total_load();
+        let new_load = candidate_summary.total_load();
+        let load_gain = if cur_load > 0.0 {
+            (cur_load - new_load) / cur_load
+        } else {
+            0.0
+        };
+        let cur_balance = current_summary.balance_factor();
+        let new_balance = candidate_summary.balance_factor();
+        let balance_improved = !new_balance.is_infinite()
+            && (cur_balance.is_infinite()
+                || new_balance < cur_balance * (1.0 - self.config.min_improvement));
+
+        if load_gain >= self.config.min_improvement || balance_improved {
+            GlobalDecision::Repartition(Box::new(candidate))
+        } else {
+            GlobalDecision::Keep
+        }
+    }
+
+    /// The drain threshold: when the fraction of still-live "old" queries
+    /// drops below this value the handover completes.
+    pub fn drain_threshold(&self) -> f64 {
+        self.config.drain_threshold
+    }
+}
+
+/// The dual-routing handover of Section V-B: while `old` is present, queries
+/// registered before the repartitioning continue to be routed (and deleted)
+/// through it, while new insertions use `new`. Objects are routed through
+/// **both** tables so that no match is lost.
+#[derive(Debug)]
+pub struct HandoverState {
+    /// The routing table in force before the repartitioning.
+    pub old: RoutingTable,
+    /// Number of STS queries that were live when the handover started.
+    pub initial_old_queries: u64,
+    /// Number of those queries that have since been deleted.
+    pub drained_old_queries: u64,
+}
+
+impl HandoverState {
+    /// Starts a handover.
+    pub fn new(old: RoutingTable, initial_old_queries: u64) -> Self {
+        Self {
+            old,
+            initial_old_queries,
+            drained_old_queries: 0,
+        }
+    }
+
+    /// Records that one pre-handover query has been deleted.
+    pub fn note_old_query_deleted(&mut self) {
+        self.drained_old_queries += 1;
+    }
+
+    /// Fraction of pre-handover queries still live.
+    pub fn remaining_fraction(&self) -> f64 {
+        if self.initial_old_queries == 0 {
+            return 0.0;
+        }
+        1.0 - (self.drained_old_queries as f64 / self.initial_old_queries as f64).min(1.0)
+    }
+
+    /// True once the old-query population has drained below the threshold and
+    /// the final migration can run.
+    pub fn ready_to_finish(&self, drain_threshold: f64) -> bool {
+        self.remaining_fraction() <= drain_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps2stream_geo::{Point, Rect};
+    use ps2stream_model::{ObjectId, QueryId, SpatioTextualObject, StsQuery, SubscriberId};
+    use ps2stream_partition::KdTreePartitioner;
+    use ps2stream_text::{BooleanExpr, TermId};
+
+    fn obj(id: u64, term: u32, x: f64, y: f64) -> SpatioTextualObject {
+        SpatioTextualObject::new(ObjectId(id), vec![TermId(term)], Point::new(x, y))
+    }
+
+    fn qry(id: u64, term: u32, region: Rect) -> StsQuery {
+        StsQuery::new(
+            QueryId(id),
+            SubscriberId(id),
+            BooleanExpr::single(TermId(term)),
+            region,
+        )
+    }
+
+    fn clustered_sample(cluster_x: f64) -> WorkloadSample {
+        let bounds = Rect::from_coords(0.0, 0.0, 64.0, 64.0);
+        let mut objects = Vec::new();
+        let mut queries = Vec::new();
+        for i in 0..200u64 {
+            let x = cluster_x + (i % 10) as f64 * 0.3;
+            let y = 10.0 + (i % 20) as f64 * 0.3;
+            objects.push(obj(i, (i % 8) as u32, x, y));
+            if i % 4 == 0 {
+                queries.push(qry(i, (i % 8) as u32, Rect::square(Point::new(x, y), 4.0)));
+            }
+        }
+        WorkloadSample::from_objects_and_queries(bounds, objects, queries)
+    }
+
+    #[test]
+    fn tick_fires_every_n_periods() {
+        let mut adj = GlobalAdjuster::new(GlobalAdjusterConfig {
+            check_every: 3,
+            ..Default::default()
+        });
+        assert!(!adj.tick());
+        assert!(!adj.tick());
+        assert!(adj.tick());
+        assert!(!adj.tick());
+    }
+
+    #[test]
+    fn drifted_distribution_triggers_repartition() {
+        // partition for a cluster on the left, then present a sample whose
+        // cluster moved to the right: the old table funnels everything to the
+        // workers owning the right region, so repartitioning must trigger.
+        let partitioner = KdTreePartitioner::default();
+        let before = clustered_sample(5.0);
+        let table = partitioner.partition(&before, 4);
+        let after = clustered_sample(50.0);
+        let adj = GlobalAdjuster::new(GlobalAdjusterConfig::default());
+        match adj.check(&table, &partitioner, &after, 4) {
+            GlobalDecision::Repartition(new_table) => {
+                assert_eq!(new_table.num_workers(), 4);
+            }
+            GlobalDecision::Keep => panic!("expected a repartition decision"),
+        }
+    }
+
+    #[test]
+    fn stable_distribution_keeps_current_table() {
+        let partitioner = KdTreePartitioner::default();
+        let sample = clustered_sample(5.0);
+        let table = partitioner.partition(&sample, 4);
+        let adj = GlobalAdjuster::new(GlobalAdjusterConfig::default());
+        match adj.check(&table, &partitioner, &sample, 4) {
+            GlobalDecision::Keep => {}
+            GlobalDecision::Repartition(_) => {
+                panic!("repartitioning on an unchanged distribution")
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sample_keeps_current_table() {
+        let partitioner = KdTreePartitioner::default();
+        let sample = clustered_sample(5.0);
+        let table = partitioner.partition(&sample, 4);
+        let empty = WorkloadSample::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), vec![], vec![], vec![]);
+        let adj = GlobalAdjuster::new(GlobalAdjusterConfig::default());
+        assert!(matches!(
+            adj.check(&table, &partitioner, &empty, 4),
+            GlobalDecision::Keep
+        ));
+    }
+
+    #[test]
+    fn handover_drains_and_finishes() {
+        let partitioner = KdTreePartitioner::default();
+        let sample = clustered_sample(5.0);
+        let table = partitioner.partition(&sample, 4);
+        let mut handover = HandoverState::new(table, 10);
+        assert!(!handover.ready_to_finish(0.2));
+        for _ in 0..8 {
+            handover.note_old_query_deleted();
+        }
+        assert!((handover.remaining_fraction() - 0.2).abs() < 1e-9);
+        assert!(handover.ready_to_finish(0.2));
+        // zero initial queries: immediately ready
+        let table2 = partitioner.partition(&sample, 4);
+        let empty_handover = HandoverState::new(table2, 0);
+        assert!(empty_handover.ready_to_finish(0.2));
+    }
+}

@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the GI² worker index: insertion, matching
+//! and deletion throughput, plus the grid-granularity ablation called out in
+//! DESIGN.md (the paper fixes 2⁶×2⁶ empirically).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps2stream::prelude::*;
+use ps2stream_index::{Gi2Config, Gi2Index};
+
+fn build_workload(n_queries: usize, n_objects: usize) -> (Vec<StsQuery>, Vec<SpatioTextualObject>) {
+    let spec = DatasetSpec::tweets_us();
+    let mut corpus = CorpusGenerator::new(spec.clone(), 1);
+    let objects = corpus.generate(n_objects);
+    let mut generator = QueryGenerator::from_corpus(
+        &corpus,
+        &objects,
+        QueryGeneratorConfig::new(QueryClass::Q1),
+        2,
+    );
+    (generator.generate(n_queries), objects)
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let (queries, _) = build_workload(5_000, 2_000);
+    c.bench_function("gi2_insert_5k_queries", |b| {
+        b.iter(|| {
+            let mut index = Gi2Index::new(Gi2Config::new(DatasetSpec::tweets_us().bounds));
+            for q in &queries {
+                index.insert(q.clone());
+            }
+            index.num_queries()
+        })
+    });
+}
+
+fn bench_match(c: &mut Criterion) {
+    let (queries, objects) = build_workload(10_000, 2_000);
+    let mut group = c.benchmark_group("gi2_match_object");
+    for granularity in [4u32, 6, 8] {
+        let mut index = Gi2Index::new(
+            Gi2Config::new(DatasetSpec::tweets_us().bounds).with_granularity_exp(granularity),
+        );
+        for q in &queries {
+            index.insert(q.clone());
+        }
+        group.bench_with_input(
+            BenchmarkId::new("granularity_exp", granularity),
+            &granularity,
+            |b, _| {
+                let mut i = 0usize;
+                b.iter(|| {
+                    let o = &objects[i % objects.len()];
+                    i += 1;
+                    index.match_object(o).len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_delete(c: &mut Criterion) {
+    let (queries, objects) = build_workload(5_000, 500);
+    c.bench_function("gi2_delete_and_lazy_purge", |b| {
+        b.iter(|| {
+            let mut index = Gi2Index::new(Gi2Config::new(DatasetSpec::tweets_us().bounds));
+            for q in &queries {
+                index.insert(q.clone());
+            }
+            for q in &queries {
+                index.delete(q);
+            }
+            // the lazy purge happens while matching
+            let mut matches = 0usize;
+            for o in &objects {
+                matches += index.match_object(o).len();
+            }
+            matches
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_insert, bench_match, bench_delete
+);
+criterion_main!(benches);

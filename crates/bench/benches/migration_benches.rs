@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the Minimum Cost Migration selectors:
+//! the DP-vs-GR quality/latency trade-off and the scaling of the selection
+//! time with the number of candidate cells.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps2stream_balance::{all_selectors, DpSelector, GreedySelector, MigrationCell, MigrationSelector};
+use ps2stream_geo::CellId;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn synthetic_cells(n: usize, seed: u64) -> Vec<MigrationCell> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            MigrationCell::new(
+                CellId::new((i % 64) as u32, (i / 64) as u32),
+                rng.gen_range(1.0..500.0),
+                rng.gen_range(1_000..200_000),
+            )
+        })
+        .collect()
+}
+
+fn bench_selectors(c: &mut Criterion) {
+    let cells = synthetic_cells(512, 7);
+    let total: f64 = cells.iter().map(|c| c.load).sum();
+    let tau = total * 0.3;
+    let mut group = c.benchmark_group("migration_selectors_512_cells");
+    for selector in all_selectors() {
+        group.bench_with_input(
+            BenchmarkId::new("selector", selector.name()),
+            &selector,
+            |b, s| b.iter(|| s.select(&cells, tau).total_size),
+        );
+    }
+    group.finish();
+}
+
+fn bench_selection_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_selection_scaling");
+    for n in [128usize, 512, 2048] {
+        let cells = synthetic_cells(n, 13);
+        let total: f64 = cells.iter().map(|c| c.load).sum();
+        let tau = total * 0.3;
+        group.bench_with_input(BenchmarkId::new("cells", n), &cells, |b, cells| {
+            b.iter(|| GreedySelector.select(cells, tau).total_size)
+        });
+    }
+    group.finish();
+}
+
+fn bench_dp_quality_gap(c: &mut Criterion) {
+    // measures the DP runtime needed to close the (small) quality gap to GR
+    let cells = synthetic_cells(256, 21);
+    let total: f64 = cells.iter().map(|c| c.load).sum();
+    let tau = total * 0.3;
+    c.bench_function("dp_exact_256_cells", |b| {
+        let dp = DpSelector {
+            size_unit: 1_024,
+            ..DpSelector::default()
+        };
+        b.iter(|| dp.select(&cells, tau).total_size)
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_selectors, bench_selection_scaling, bench_dp_quality_gap
+);
+criterion_main!(benches);

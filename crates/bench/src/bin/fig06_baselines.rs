@@ -1,0 +1,71 @@
+//! Figure 6 — throughput of the baseline workload distribution algorithms.
+//!
+//! (a)(b): text-partitioning baselines (Frequency, Hypergraph, Metric) on the
+//! Q1 (µ=5M) and Q2 (µ=10M) workloads; (c)(d): space-partitioning baselines
+//! (Grid, kd-tree, R-tree) on the same workloads. 4 dispatchers, 8 workers.
+
+use ps2stream::prelude::*;
+use ps2stream_bench::{
+    build_partitioner, dataset_tag, datasets, fmt_tps, print_table, Experiment, Scale,
+};
+
+fn run_group(title: &str, strategy_names: &[&str], class: QueryClass, scale: Scale) {
+    let mut rows = Vec::new();
+    for dataset in datasets() {
+        for name in strategy_names {
+            let report =
+                Experiment::new(dataset.clone(), class, build_partitioner(name), scale).run();
+            rows.push(vec![
+                format!("STS-{}-{}", dataset_tag(&dataset), class.name()),
+                (*name).to_string(),
+                fmt_tps(report.throughput_tps),
+                format!("{}", report.matches_delivered),
+            ]);
+        }
+    }
+    print_table(
+        title,
+        &["workload", "strategy", "throughput (tuples/s)", "matches"],
+        &rows,
+    );
+}
+
+fn main() {
+    println!("Figure 6: throughput of the baseline workload distribution algorithms");
+    println!("(4 dispatchers, 8 workers; PS2_SCALE={})", Scale::factor());
+
+    let text = ["Frequency", "Hypergraph", "Metric"];
+    let space = ["Grid", "kd-tree", "R-tree"];
+
+    run_group(
+        "Figure 6(a): Text-Partitioning, Q1 (#Q1=5M)",
+        &text,
+        QueryClass::Q1,
+        Scale::q5m(),
+    );
+    run_group(
+        "Figure 6(b): Text-Partitioning, Q2 (#Q2=10M)",
+        &text,
+        QueryClass::Q2,
+        Scale::q10m(),
+    );
+    run_group(
+        "Figure 6(c): Space-Partitioning, Q1 (#Q1=5M)",
+        &space,
+        QueryClass::Q1,
+        Scale::q5m(),
+    );
+    run_group(
+        "Figure 6(d): Space-Partitioning, Q2 (#Q2=10M)",
+        &space,
+        QueryClass::Q2,
+        Scale::q10m(),
+    );
+    println!();
+    println!(
+        "Paper shape: space partitioning wins on Q1 (frequent keywords force text\n\
+         partitioning to replicate objects); text partitioning wins on Q2 (larger\n\
+         query ranges force space partitioning to replicate queries). Metric is the\n\
+         best text baseline and kd-tree the best space baseline."
+    );
+}

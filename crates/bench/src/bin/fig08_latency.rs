@@ -1,0 +1,44 @@
+//! Figure 8 — per-tuple latency of Hybrid vs Metric vs kd-tree partitioning.
+//!
+//! The latency is the average time a tuple spends in the system, measured at
+//! a moderate input rate (the harness drives a fixed stream and reports the
+//! mean and 99th-percentile end-to-end latency).
+
+use ps2stream::prelude::*;
+use ps2stream_bench::{
+    dataset_tag, datasets, fmt_ms, headline_report, headline_strategies, print_table, Scale,
+};
+
+fn run_panel(title: &str, class: QueryClass, scale: Scale) {
+    let mut rows = Vec::new();
+    for dataset in datasets() {
+        for strategy in headline_strategies() {
+            let report = headline_report(dataset.clone(), class, strategy, scale, 8);
+            rows.push(vec![
+                format!("STS-{}-{}", dataset_tag(&dataset), class.name()),
+                strategy.to_string(),
+                fmt_ms(report.mean_latency),
+                fmt_ms(report.p99_latency),
+            ]);
+        }
+    }
+    print_table(
+        title,
+        &["workload", "strategy", "mean latency (ms)", "p99 latency (ms)"],
+        &rows,
+    );
+}
+
+fn main() {
+    println!("Figure 8: latency comparison (Metric, kd-tree, Hybrid)");
+    println!("(4 dispatchers, 8 workers; PS2_SCALE={})", Scale::factor());
+    run_panel("Figure 8(a): #Queries=5M (Q1)", QueryClass::Q1, Scale::q5m());
+    run_panel("Figure 8(b): #Queries=10M (Q2)", QueryClass::Q2, Scale::q10m());
+    run_panel("Figure 8(c): #Queries=10M (Q3)", QueryClass::Q3, Scale::q10m());
+    println!();
+    println!(
+        "Paper shape: Hybrid has the smallest latency; kd-tree is noticeably slower\n\
+         on Q2 (large query ranges), and Metric degrades badly on STS-UK-Q1 where\n\
+         the query keywords are frequent."
+    );
+}

@@ -1,0 +1,54 @@
+//! Figure 14 — migration cost and migration time of GR, SI and RA with
+//! #Queries = 5M and 10M (STS-US-Q1).
+
+use ps2stream_balance::{GreedySelector, MigrationSelector, RandomSelector, SizeSelector};
+use ps2stream_bench::{print_table, MigrationLab, Scale};
+
+fn selectors() -> Vec<Box<dyn MigrationSelector>> {
+    vec![
+        Box::new(GreedySelector),
+        Box::new(SizeSelector),
+        Box::new(RandomSelector::default()),
+    ]
+}
+
+fn run_panel(title: &str, queries: usize) {
+    let lab = MigrationLab::build(queries, queries, 23);
+    let tau = lab.total_load() * 0.25;
+    let mut rows = Vec::new();
+    for selector in selectors() {
+        let (selection, _) = lab.time_selection(selector.as_ref(), tau);
+        let outcome = lab.execute_migration(&selection);
+        rows.push(vec![
+            selector.name().to_string(),
+            format!("{:.3}", outcome.bytes_moved as f64 / (1024.0 * 1024.0)),
+            format!("{:.3}", outcome.elapsed.as_secs_f64() * 1e3),
+            format!("{}", outcome.queries_moved),
+            format!("{}", selection.cells.len()),
+        ]);
+    }
+    print_table(
+        title,
+        &[
+            "algorithm",
+            "avg migration cost (MB)",
+            "avg migration time (ms)",
+            "#queries moved",
+            "#cells moved",
+        ],
+        &rows,
+    );
+}
+
+fn main() {
+    println!("Figure 14: migration cost and time (STS-US-Q1)");
+    println!("(PS2_SCALE={})", Scale::factor());
+    run_panel("Figure 14(a): #Queries=5M", Scale::q5m().queries);
+    run_panel("Figure 14(b): #Queries=10M", Scale::q10m().queries);
+    println!();
+    println!(
+        "Paper shape: GR migrates 30–40% fewer bytes than SI and RA and needs the\n\
+         least time; the cost and time grow with the number of registered queries\n\
+         because every cell becomes heavier."
+    );
+}

@@ -1,0 +1,333 @@
+//! Shared harness for reproducing the figures of the PS2Stream paper.
+//!
+//! Every figure of Section VI has a dedicated binary in `src/bin/` (see
+//! `DESIGN.md` for the experiment index). The binaries share this harness:
+//! it generates the scaled-down workloads, drives a full in-process
+//! PS2Stream deployment and prints the same series the paper plots.
+//!
+//! The workload sizes are scaled down from the paper's 5M–20M queries so a
+//! complete run finishes on a laptop; set the `PS2_SCALE` environment
+//! variable (default `1.0`) to scale every workload up or down.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod migration_lab;
+
+use ps2stream::prelude::*;
+use ps2stream_partition::Partitioner;
+
+pub use migration_lab::{MigrationLab, MigrationOutcome};
+
+/// Workload sizes used by the experiment binaries (already scaled).
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Number of STS queries registered before measuring ("µ" in the paper,
+    /// 5M/10M/20M there).
+    pub queries: usize,
+    /// Number of stream records (objects + updates) driven through the system
+    /// during the measured phase.
+    pub stream_records: usize,
+    /// Number of objects in the calibration sample given to the partitioner.
+    pub calibration_objects: usize,
+    /// Number of queries in the calibration sample given to the partitioner.
+    pub calibration_queries: usize,
+}
+
+impl Scale {
+    /// The scale factor read from `PS2_SCALE` (default 1.0).
+    pub fn factor() -> f64 {
+        std::env::var("PS2_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|v| *v > 0.0)
+            .unwrap_or(1.0)
+    }
+
+    /// The scale corresponding to the paper's "5M queries" configuration.
+    pub fn q5m() -> Self {
+        Self::from_base(20_000)
+    }
+
+    /// The scale corresponding to the paper's "10M queries" configuration.
+    pub fn q10m() -> Self {
+        Self::from_base(40_000)
+    }
+
+    /// The scale corresponding to the paper's "20M queries" configuration.
+    pub fn q20m() -> Self {
+        Self::from_base(80_000)
+    }
+
+    /// A small scale for quick smoke tests.
+    pub fn smoke() -> Self {
+        Self {
+            queries: 2_000,
+            stream_records: 6_000,
+            calibration_objects: 2_000,
+            calibration_queries: 500,
+        }
+    }
+
+    fn from_base(base_queries: usize) -> Self {
+        let f = Self::factor();
+        let queries = ((base_queries as f64) * f) as usize;
+        Self {
+            queries: queries.max(100),
+            stream_records: (queries * 3).max(300),
+            calibration_objects: (queries / 2).clamp(1_000, 40_000),
+            calibration_queries: (queries / 8).clamp(200, 10_000),
+        }
+    }
+}
+
+/// One experiment configuration: a dataset, a query class, a partitioning
+/// strategy and a cluster size.
+pub struct Experiment {
+    /// Dataset ("TWEETS-US" or "TWEETS-UK" substitute).
+    pub dataset: DatasetSpec,
+    /// Query class (Q1 / Q2 / Q3).
+    pub class: QueryClass,
+    /// Partitioning strategy under test.
+    pub partitioner: Box<dyn Partitioner>,
+    /// Number of worker executors.
+    pub workers: usize,
+    /// Number of dispatcher executors.
+    pub dispatchers: usize,
+    /// Workload sizes.
+    pub scale: Scale,
+    /// Dynamic load adjustment configuration (None = disabled).
+    pub adjustment: Option<AdjustmentConfig>,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Experiment {
+    /// Creates an experiment with the paper's default cluster (4 dispatchers,
+    /// 8 workers) and no dynamic adjustment.
+    pub fn new(
+        dataset: DatasetSpec,
+        class: QueryClass,
+        partitioner: Box<dyn Partitioner>,
+        scale: Scale,
+    ) -> Self {
+        Self {
+            dataset,
+            class,
+            partitioner,
+            workers: 8,
+            dispatchers: 4,
+            scale,
+            adjustment: None,
+            seed: 42,
+        }
+    }
+
+    /// Overrides the number of workers.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Enables dynamic load adjustment.
+    pub fn with_adjustment(mut self, adjustment: AdjustmentConfig) -> Self {
+        self.adjustment = Some(adjustment);
+        self
+    }
+
+    /// Runs the experiment: partition on a calibration sample, register the
+    /// initial query population, drive the measured stream, and return the
+    /// run report.
+    pub fn run(self) -> RunReport {
+        let scale = self.scale;
+        // calibration sample for the partitioner
+        let sample = ps2stream_workload::build_sample(
+            self.dataset.clone(),
+            self.class,
+            scale.calibration_objects,
+            scale.calibration_queries,
+            self.seed,
+        );
+        let config = SystemConfig {
+            num_dispatchers: self.dispatchers,
+            num_workers: self.workers,
+            num_mergers: 2,
+            ..SystemConfig::default()
+        };
+        let config = match self.adjustment {
+            Some(adj) => config.with_adjustment(adj),
+            None => config,
+        };
+        let mut system = Ps2StreamBuilder::new(config)
+            .with_partitioner(self.partitioner)
+            .with_calibration_sample(sample)
+            .start();
+
+        // workload driver: warm up to the target live-query population, then
+        // drive the measured mix
+        let mut corpus = CorpusGenerator::new(self.dataset.clone(), self.seed.wrapping_add(7));
+        let corpus_sample = corpus.generate(scale.calibration_objects);
+        let queries = QueryGenerator::from_corpus(
+            &corpus,
+            &corpus_sample,
+            QueryGeneratorConfig::new(self.class),
+            self.seed.wrapping_add(13),
+        );
+        let mut driver = WorkloadDriver::new(
+            DriverConfig::with_mu(scale.queries as u64),
+            corpus,
+            queries,
+            self.seed.wrapping_add(23),
+        );
+        for record in driver.warm_up(scale.queries) {
+            system.send(record);
+        }
+        for record in (&mut driver).take(scale.stream_records) {
+            system.send(record);
+        }
+        system.finish()
+    }
+}
+
+/// Pretty-prints a result table in the style of the paper's figures.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!();
+    println!("=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:<width$}", h, width = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    println!("{}", "-".repeat(header_line.join("  ").len()));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Formats a tuples/second value the way the paper's axes do.
+pub fn fmt_tps(tps: f64) -> String {
+    format!("{:.0}", tps)
+}
+
+/// Formats a byte count as mebibytes.
+pub fn fmt_mib(bytes: usize) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats a duration in milliseconds.
+pub fn fmt_ms(d: std::time::Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// The two datasets of the evaluation.
+pub fn datasets() -> Vec<DatasetSpec> {
+    vec![DatasetSpec::tweets_us(), DatasetSpec::tweets_uk()]
+}
+
+/// The three strategies compared in Figures 7–11 (Metric, kd-tree, Hybrid).
+pub fn headline_strategies() -> Vec<&'static str> {
+    vec!["Metric", "kd-tree", "Hybrid"]
+}
+
+/// Builds a partitioner by its name as used in the paper's figures.
+///
+/// # Panics
+/// Panics on an unknown name.
+pub fn build_partitioner(name: &str) -> Box<dyn Partitioner> {
+    match name {
+        "Frequency" => Box::new(FrequencyPartitioner::default()),
+        "Hypergraph" => Box::new(HypergraphPartitioner::default()),
+        "Metric" => Box::new(MetricPartitioner::default()),
+        "Grid" => Box::new(GridPartitioner::default()),
+        "kd-tree" => Box::new(KdTreePartitioner::default()),
+        "R-tree" => Box::new(RTreePartitioner::default()),
+        "Hybrid" => Box::new(HybridPartitioner::default()),
+        other => panic!("unknown partitioner {other}"),
+    }
+}
+
+/// The dataset tag used in workload names ("US" / "UK").
+pub fn dataset_tag(spec: &DatasetSpec) -> &'static str {
+    if spec.name.contains("US") {
+        "US"
+    } else {
+        "UK"
+    }
+}
+
+/// Runs one headline experiment (Figures 7–11): the given dataset, query
+/// class and strategy on `workers` workers.
+pub fn headline_report(
+    dataset: DatasetSpec,
+    class: QueryClass,
+    strategy: &str,
+    scale: Scale,
+    workers: usize,
+) -> RunReport {
+    Experiment::new(dataset, class, build_partitioner(strategy), scale)
+        .with_workers(workers)
+        .run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_monotone() {
+        assert!(Scale::q5m().queries < Scale::q10m().queries);
+        assert!(Scale::q10m().queries < Scale::q20m().queries);
+        assert!(Scale::smoke().queries <= Scale::q5m().queries);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_tps(1234.56), "1235");
+        assert_eq!(fmt_mib(1024 * 1024), "1.00");
+        assert_eq!(fmt_ms(std::time::Duration::from_millis(15)), "15.00");
+    }
+
+    #[test]
+    fn build_partitioner_knows_every_strategy() {
+        for name in ["Frequency", "Hypergraph", "Metric", "Grid", "kd-tree", "R-tree", "Hybrid"] {
+            assert_eq!(build_partitioner(name).name(), name);
+        }
+    }
+
+    #[test]
+    fn smoke_experiment_runs_end_to_end() {
+        let report = Experiment::new(
+            DatasetSpec::tiny(),
+            QueryClass::Q1,
+            Box::new(KdTreePartitioner::default()),
+            Scale::smoke(),
+        )
+        .with_workers(2)
+        .run();
+        assert!(report.records_in > 0);
+        assert!(report.throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["strategy", "tps"],
+            &[vec!["Hybrid".into(), "123".into()]],
+        );
+    }
+}

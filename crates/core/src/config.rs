@@ -1,0 +1,157 @@
+//! System configuration.
+
+use ps2stream_partition::CostConstants;
+
+/// Which Minimum Cost Migration selector the dynamic load adjustment uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectorKind {
+    /// Exact dynamic programming (Section V-A-1).
+    Dp,
+    /// Greedy by relative cost (Section V-A-2) — the paper's recommendation.
+    #[default]
+    Greedy,
+    /// Size-descending baseline.
+    Size,
+    /// Random baseline.
+    Random,
+}
+
+impl SelectorKind {
+    /// Name used in reports ("DP", "GR", "SI", "RA").
+    pub fn name(&self) -> &'static str {
+        match self {
+            SelectorKind::Dp => "DP",
+            SelectorKind::Greedy => "GR",
+            SelectorKind::Size => "SI",
+            SelectorKind::Random => "RA",
+        }
+    }
+}
+
+/// Configuration of the dynamic load adjustment.
+#[derive(Debug, Clone)]
+pub struct AdjustmentConfig {
+    /// Load-balance constraint σ.
+    pub sigma: f64,
+    /// How often (in milliseconds) the controller polls worker loads.
+    pub poll_interval_ms: u64,
+    /// The Phase-II cell selector.
+    pub selector: SelectorKind,
+    /// Number of most-loaded cells inspected by Phase I.
+    pub phase1_cells: usize,
+    /// Enable the periodic global repartitioning check (Section V-B).
+    pub enable_global: bool,
+    /// Number of local polls between global repartitioning checks.
+    pub global_check_every: u64,
+}
+
+impl Default for AdjustmentConfig {
+    fn default() -> Self {
+        Self {
+            sigma: 1.5,
+            poll_interval_ms: 100,
+            selector: SelectorKind::Greedy,
+            phase1_cells: 4,
+            enable_global: false,
+            global_check_every: 10,
+        }
+    }
+}
+
+/// Configuration of a PS2Stream deployment.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// Number of dispatcher executors (the paper's evaluation uses 4).
+    pub num_dispatchers: usize,
+    /// Number of worker executors (8 in most experiments, up to 24 in the
+    /// scalability study).
+    pub num_workers: usize,
+    /// Number of merger executors.
+    pub num_mergers: usize,
+    /// Capacity of the system input channel (records in flight before the
+    /// feeding thread blocks).
+    pub input_capacity: usize,
+    /// Capacity of each worker → merger channel.
+    pub merger_capacity: usize,
+    /// GI² / gridt grid granularity exponent (2⁶×2⁶ in the paper).
+    pub grid_exp: u32,
+    /// Cost constants of the load model.
+    pub costs: CostConstants,
+    /// Dynamic load adjustment; `None` disables it (the "NoAdjust" system of
+    /// Figure 16).
+    pub adjustment: Option<AdjustmentConfig>,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self {
+            num_dispatchers: 4,
+            num_workers: 8,
+            num_mergers: 2,
+            input_capacity: 4096,
+            merger_capacity: 4096,
+            grid_exp: 6,
+            costs: CostConstants::default(),
+            adjustment: None,
+        }
+    }
+}
+
+impl SystemConfig {
+    /// Configuration matching the paper's main setup: 4 dispatchers, 8
+    /// workers.
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// Overrides the number of workers.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.num_workers = workers;
+        self
+    }
+
+    /// Overrides the number of dispatchers.
+    pub fn with_dispatchers(mut self, dispatchers: usize) -> Self {
+        self.num_dispatchers = dispatchers;
+        self
+    }
+
+    /// Enables dynamic load adjustment.
+    pub fn with_adjustment(mut self, adjustment: AdjustmentConfig) -> Self {
+        self.adjustment = Some(adjustment);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_setup() {
+        let c = SystemConfig::paper_default();
+        assert_eq!(c.num_dispatchers, 4);
+        assert_eq!(c.num_workers, 8);
+        assert_eq!(c.grid_exp, 6);
+        assert!(c.adjustment.is_none());
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let c = SystemConfig::default()
+            .with_workers(24)
+            .with_dispatchers(2)
+            .with_adjustment(AdjustmentConfig::default());
+        assert_eq!(c.num_workers, 24);
+        assert_eq!(c.num_dispatchers, 2);
+        assert_eq!(c.adjustment.as_ref().unwrap().selector.name(), "GR");
+    }
+
+    #[test]
+    fn selector_names() {
+        assert_eq!(SelectorKind::Dp.name(), "DP");
+        assert_eq!(SelectorKind::Greedy.name(), "GR");
+        assert_eq!(SelectorKind::Size.name(), "SI");
+        assert_eq!(SelectorKind::Random.name(), "RA");
+    }
+}

@@ -1,0 +1,347 @@
+//! The dynamic load adjustment controller.
+//!
+//! The paper's dispatcher monitors the worker loads and, when the balance
+//! constraint `L_max / L_min ≤ σ` is violated, triggers the local load
+//! adjustment of Section V-A: the most loaded worker migrates cells to the
+//! least loaded one. In this implementation the monitoring runs on a
+//! dedicated controller thread that periodically polls the workers for their
+//! per-cell load statistics, plans a migration with [`LocalAdjuster`], applies
+//! the routing-table changes and instructs the workers to move their queries.
+
+use crate::config::{AdjustmentConfig, SelectorKind};
+use crate::messages::{WorkerMessage, WorkerStatsReport};
+use crate::metrics::SystemMetrics;
+use parking_lot::RwLock;
+use ps2stream_balance::{
+    DpSelector, GreedySelector, LocalAdjuster, LocalAdjusterConfig, MigrationMove,
+    MigrationSelector, RandomSelector, SizeSelector, WorkerLoadInfo,
+};
+use ps2stream_model::WorkerId;
+use ps2stream_partition::{CostConstants, RoutingTable};
+use ps2stream_stream::{unbounded, Sender};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn build_selector(kind: SelectorKind) -> Box<dyn MigrationSelector + Send> {
+    match kind {
+        SelectorKind::Dp => Box::new(DpSelector::default()),
+        SelectorKind::Greedy => Box::new(GreedySelector),
+        SelectorKind::Size => Box::new(SizeSelector),
+        SelectorKind::Random => Box::new(RandomSelector::default()),
+    }
+}
+
+/// The controller driving dynamic load adjustments for a running system.
+pub struct AdjustmentController {
+    config: AdjustmentConfig,
+    costs: CostConstants,
+    routing: Arc<RwLock<RoutingTable>>,
+    workers: Vec<Sender<WorkerMessage>>,
+    metrics: Arc<SystemMetrics>,
+    stop: Arc<AtomicBool>,
+}
+
+impl AdjustmentController {
+    /// Creates a controller.
+    pub fn new(
+        config: AdjustmentConfig,
+        costs: CostConstants,
+        routing: Arc<RwLock<RoutingTable>>,
+        workers: Vec<Sender<WorkerMessage>>,
+        metrics: Arc<SystemMetrics>,
+        stop: Arc<AtomicBool>,
+    ) -> Self {
+        Self {
+            config,
+            costs,
+            routing,
+            workers,
+            metrics,
+            stop,
+        }
+    }
+
+    /// Polls every worker for its load report. Workers that have already shut
+    /// down simply do not answer; the call times out after a short grace
+    /// period.
+    fn collect_stats(&self) -> Vec<WorkerStatsReport> {
+        let (tx, rx) = unbounded::<WorkerStatsReport>();
+        let mut expected = 0usize;
+        for w in &self.workers {
+            if w.send(WorkerMessage::CollectStats { reply: tx.clone() }).is_ok() {
+                expected += 1;
+            }
+        }
+        drop(tx);
+        let deadline = Instant::now() + Duration::from_millis(2_000);
+        let mut out = Vec::with_capacity(expected);
+        while out.len() < expected {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                break;
+            }
+            match rx.recv_timeout(remaining) {
+                Ok(report) => out.push(report),
+                Err(_) => break,
+            }
+        }
+        out.sort_by_key(|r| r.worker);
+        out
+    }
+
+    /// Performs one adjustment round. Returns true if a migration was issued.
+    pub fn adjust_once(&self, adjuster: &LocalAdjuster) -> bool {
+        let reports = self.collect_stats();
+        if reports.len() < 2 {
+            return false;
+        }
+        let loads: Vec<f64> = reports.iter().map(|r| r.load.load(&self.costs)).collect();
+        let Some((hi, lo)) = adjuster.detect_imbalance(&loads) else {
+            return false;
+        };
+        let overloaded = WorkerLoadInfo {
+            worker: reports[hi].worker,
+            cells: reports[hi].cells.clone(),
+        };
+        let underloaded = WorkerLoadInfo {
+            worker: reports[lo].worker,
+            cells: reports[lo].cells.clone(),
+        };
+        let plan_start = Instant::now();
+        let plan = adjuster.plan(&overloaded, &underloaded);
+        self.metrics
+            .migration
+            .selection_time_us
+            .fetch_add(plan_start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        if plan.is_empty() {
+            return false;
+        }
+        self.metrics.migration.rounds.fetch_add(1, Ordering::Relaxed);
+        self.apply_plan(&plan.moves);
+        true
+    }
+
+    fn apply_plan(&self, moves: &[MigrationMove]) {
+        for m in moves {
+            match m {
+                MigrationMove::WholeCell { cell, from, to } => {
+                    self.routing.write().reassign_cell(*cell, *to);
+                    self.send_migration(*from, *cell, None, *to);
+                }
+                MigrationMove::TextSplit {
+                    cell,
+                    from,
+                    to,
+                    terms,
+                } => {
+                    let term_set: HashSet<_> = terms.iter().copied().collect();
+                    self.routing.write().split_cell_by_terms(*cell, &term_set, *to);
+                    self.send_migration(*from, *cell, Some(terms.clone()), *to);
+                }
+                MigrationMove::MergeCell { cell, from, to } => {
+                    // every term currently routed to `from` in this cell is
+                    // reassigned (and its queries migrated) to `to`
+                    let terms = {
+                        let routing = self.routing.read();
+                        routing
+                            .cell_worker_terms(*cell)
+                            .remove(from)
+                            .unwrap_or_default()
+                    };
+                    let term_set: HashSet<_> = terms.iter().copied().collect();
+                    if term_set.is_empty() {
+                        self.routing.write().reassign_cell(*cell, *to);
+                        self.send_migration(*from, *cell, None, *to);
+                    } else {
+                        self.routing.write().split_cell_by_terms(*cell, &term_set, *to);
+                        self.send_migration(*from, *cell, Some(terms), *to);
+                    }
+                }
+            }
+        }
+    }
+
+    fn send_migration(
+        &self,
+        from: WorkerId,
+        cell: ps2stream_geo::CellId,
+        terms: Option<Vec<ps2stream_text::TermId>>,
+        to: WorkerId,
+    ) {
+        if let Some(tx) = self.workers.get(from.index()) {
+            let _ = tx.send(WorkerMessage::MigrateCell { cell, terms, to });
+        }
+    }
+
+    /// Runs the controller loop until the stop flag is raised.
+    pub fn run(self) {
+        let adjuster = LocalAdjuster::new(LocalAdjusterConfig {
+            sigma: self.config.sigma,
+            phase1_cells: self.config.phase1_cells,
+            ..LocalAdjusterConfig::default()
+        })
+        .with_selector(build_selector(self.config.selector));
+        let interval = Duration::from_millis(self.config.poll_interval_ms.max(1));
+        while !self.stop.load(Ordering::Relaxed) {
+            std::thread::sleep(interval);
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+            self.adjust_once(&adjuster);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::messages::WorkerStatsReport;
+    use ps2stream_balance::CellLoadInfo;
+    use ps2stream_geo::{CellId, Rect};
+    use ps2stream_partition::{CellRouting, WorkerLoad};
+    use ps2stream_text::TermStats;
+
+    fn routing_two_workers() -> RoutingTable {
+        let grid = ps2stream_geo::UniformGrid::new(Rect::from_coords(0.0, 0.0, 16.0, 16.0), 4, 4);
+        let cells = vec![CellRouting::Single(WorkerId(0)); grid.num_cells()];
+        RoutingTable::new(grid, cells, 2, Arc::new(TermStats::new()), "test")
+    }
+
+    fn fake_worker(
+        report: WorkerStatsReport,
+    ) -> (Sender<WorkerMessage>, std::thread::JoinHandle<Vec<WorkerMessage>>) {
+        let (tx, rx) = unbounded::<WorkerMessage>();
+        let handle = std::thread::spawn(move || {
+            let mut control_messages = Vec::new();
+            while let Ok(msg) = rx.recv() {
+                match msg {
+                    WorkerMessage::CollectStats { reply } => {
+                        let _ = reply.send(report.clone());
+                    }
+                    WorkerMessage::Shutdown => break,
+                    other => control_messages.push(other),
+                }
+            }
+            control_messages
+        });
+        (tx, handle)
+    }
+
+    #[test]
+    fn controller_migrates_from_overloaded_to_underloaded_worker() {
+        let metrics = SystemMetrics::new(2);
+        let routing = Arc::new(RwLock::new(routing_two_workers()));
+        // worker 0 heavily loaded with two cells; worker 1 idle
+        let heavy = WorkerStatsReport {
+            worker: WorkerId(0),
+            load: WorkerLoad::new(1_000, 100, 0),
+            cells: vec![
+                CellLoadInfo {
+                    cell: CellId::new(0, 0),
+                    objects: 500,
+                    queries: 50,
+                    size: 5_000,
+                    text_split: false,
+                    term_loads: vec![],
+                },
+                CellLoadInfo {
+                    cell: CellId::new(1, 0),
+                    objects: 500,
+                    queries: 50,
+                    size: 5_000,
+                    text_split: false,
+                    term_loads: vec![],
+                },
+            ],
+            indexed_queries: 100,
+            memory_bytes: 10_000,
+        };
+        let idle = WorkerStatsReport {
+            worker: WorkerId(1),
+            load: WorkerLoad::new(10, 1, 0),
+            cells: vec![],
+            indexed_queries: 1,
+            memory_bytes: 100,
+        };
+        let (tx0, h0) = fake_worker(heavy);
+        let (tx1, h1) = fake_worker(idle);
+        let stop = Arc::new(AtomicBool::new(false));
+        let controller = AdjustmentController::new(
+            AdjustmentConfig::default(),
+            CostConstants::default(),
+            Arc::clone(&routing),
+            vec![tx0.clone(), tx1.clone()],
+            Arc::clone(&metrics),
+            stop,
+        );
+        let adjuster = LocalAdjuster::new(LocalAdjusterConfig::default());
+        assert!(controller.adjust_once(&adjuster));
+        assert_eq!(metrics.migration.rounds.load(Ordering::Relaxed), 1);
+
+        // shut the fake workers down and inspect the control traffic
+        tx0.send(WorkerMessage::Shutdown).unwrap();
+        tx1.send(WorkerMessage::Shutdown).unwrap();
+        let to_w0 = h0.join().unwrap();
+        let to_w1 = h1.join().unwrap();
+        assert!(
+            to_w0
+                .iter()
+                .any(|m| matches!(m, WorkerMessage::MigrateCell { to, .. } if *to == WorkerId(1))),
+            "worker 0 should have been told to migrate a cell"
+        );
+        assert!(to_w1.is_empty());
+        // the routing table now sends at least one cell to worker 1
+        let routing = routing.read();
+        let moved = routing
+            .grid()
+            .all_cells()
+            .any(|c| matches!(routing.cell_routing(c), CellRouting::Single(w) if *w == WorkerId(1)));
+        assert!(moved);
+    }
+
+    #[test]
+    fn controller_does_nothing_when_balanced() {
+        let metrics = SystemMetrics::new(2);
+        let routing = Arc::new(RwLock::new(routing_two_workers()));
+        let report = |w: u32| WorkerStatsReport {
+            worker: WorkerId(w),
+            load: WorkerLoad::new(100, 10, 0),
+            cells: vec![],
+            indexed_queries: 10,
+            memory_bytes: 1_000,
+        };
+        let (tx0, h0) = fake_worker(report(0));
+        let (tx1, h1) = fake_worker(report(1));
+        let stop = Arc::new(AtomicBool::new(false));
+        let controller = AdjustmentController::new(
+            AdjustmentConfig::default(),
+            CostConstants::default(),
+            routing,
+            vec![tx0.clone(), tx1.clone()],
+            Arc::clone(&metrics),
+            stop,
+        );
+        let adjuster = LocalAdjuster::new(LocalAdjusterConfig::default());
+        assert!(!controller.adjust_once(&adjuster));
+        assert_eq!(metrics.migration.rounds.load(Ordering::Relaxed), 0);
+        tx0.send(WorkerMessage::Shutdown).unwrap();
+        tx1.send(WorkerMessage::Shutdown).unwrap();
+        h0.join().unwrap();
+        h1.join().unwrap();
+    }
+
+    #[test]
+    fn selector_factory_builds_all_kinds() {
+        for kind in [
+            SelectorKind::Dp,
+            SelectorKind::Greedy,
+            SelectorKind::Size,
+            SelectorKind::Random,
+        ] {
+            let s = build_selector(kind);
+            assert_eq!(s.name(), kind.name());
+        }
+    }
+}

@@ -1,0 +1,209 @@
+//! The dispatcher executor.
+//!
+//! Dispatchers consume the interleaved input stream and route every record to
+//! the workers that need it, using the shared gridt routing table
+//! (Section IV-C): objects go to the workers owning their cell/terms (or are
+//! discarded when no registered keyword matches), query insertions and
+//! deletions go to every worker holding a replica of the query.
+
+use crate::messages::WorkerMessage;
+use crate::metrics::SystemMetrics;
+use parking_lot::RwLock;
+use ps2stream_model::{QueryUpdate, StreamRecord};
+use ps2stream_partition::RoutingTable;
+use ps2stream_stream::{Emitter, Envelope, Operator};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A dispatcher executor. Several dispatcher instances share the same routing
+/// table (behind an `RwLock`) and pull from the same input channel.
+pub struct Dispatcher {
+    routing: Arc<RwLock<RoutingTable>>,
+    metrics: Arc<SystemMetrics>,
+    /// Optional secondary routing table used during a global-adjustment
+    /// handover: deletions of queries registered before the repartitioning
+    /// are routed through it as well, and objects are routed through both
+    /// tables so no match is lost.
+    old_routing: Arc<RwLock<Option<RoutingTable>>>,
+}
+
+impl Dispatcher {
+    /// Creates a dispatcher over the shared routing state.
+    pub fn new(
+        routing: Arc<RwLock<RoutingTable>>,
+        old_routing: Arc<RwLock<Option<RoutingTable>>>,
+        metrics: Arc<SystemMetrics>,
+    ) -> Self {
+        Self {
+            routing,
+            metrics,
+            old_routing,
+        }
+    }
+
+    fn route_record(&self, record: &StreamRecord) -> Vec<ps2stream_model::WorkerId> {
+        match record {
+            StreamRecord::Object(o) => {
+                let mut workers = self.routing.read().route_object(o);
+                if let Some(old) = self.old_routing.read().as_ref() {
+                    for w in old.route_object(o) {
+                        if !workers.contains(&w) {
+                            workers.push(w);
+                        }
+                    }
+                }
+                workers
+            }
+            StreamRecord::Update(QueryUpdate::Insert(q)) => self.routing.write().route_insert(q),
+            StreamRecord::Update(QueryUpdate::Delete(q)) => {
+                let mut workers = self.routing.read().route_delete(q);
+                if let Some(old) = self.old_routing.read().as_ref() {
+                    for w in old.route_delete(q) {
+                        if !workers.contains(&w) {
+                            workers.push(w);
+                        }
+                    }
+                }
+                workers
+            }
+        }
+    }
+}
+
+impl Operator for Dispatcher {
+    type In = Envelope<StreamRecord>;
+    type Out = WorkerMessage;
+
+    fn process(&mut self, input: Envelope<StreamRecord>, emitter: &Emitter<WorkerMessage>) {
+        let workers = self.route_record(&input.payload);
+        if workers.is_empty() {
+            // Discarded at the dispatcher (object with no registered keyword
+            // in its cell): the tuple is complete, record its latency.
+            if input.payload.is_object() {
+                self.metrics.discarded_objects.fetch_add(1, Ordering::Relaxed);
+            }
+            self.metrics.latency.record(input.latency());
+            self.metrics.throughput.record(1);
+            return;
+        }
+        if workers.len() == 1 {
+            emitter.emit_to(workers[0].index(), WorkerMessage::Record(input));
+            return;
+        }
+        for w in workers {
+            emitter.emit_to(w.index(), WorkerMessage::Record(input.derive(input.payload.clone())));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps2stream_geo::{Point, Rect};
+    use ps2stream_model::{ObjectId, QueryId, SpatioTextualObject, StsQuery, SubscriberId, WorkerId};
+    use ps2stream_partition::{CellRouting, RoutingTable};
+    use ps2stream_stream::bounded;
+    use ps2stream_text::{BooleanExpr, TermId, TermStats};
+
+    fn split_routing() -> RoutingTable {
+        let grid = ps2stream_geo::UniformGrid::new(Rect::from_coords(0.0, 0.0, 16.0, 16.0), 4, 4);
+        let cells: Vec<CellRouting> = grid
+            .all_cells()
+            .map(|c| {
+                if c.col < 2 {
+                    CellRouting::Single(WorkerId(0))
+                } else {
+                    CellRouting::Single(WorkerId(1))
+                }
+            })
+            .collect();
+        RoutingTable::new(grid, cells, 2, Arc::new(TermStats::new()), "test")
+    }
+
+    fn query(id: u64, term: u32, region: Rect) -> StsQuery {
+        StsQuery::new(
+            QueryId(id),
+            SubscriberId(id),
+            BooleanExpr::single(TermId(term)),
+            region,
+        )
+    }
+
+    fn object(id: u64, term: u32, x: f64, y: f64) -> SpatioTextualObject {
+        SpatioTextualObject::new(ObjectId(id), vec![TermId(term)], Point::new(x, y))
+    }
+
+    #[test]
+    fn dispatcher_routes_and_discards() {
+        let metrics = SystemMetrics::new(2);
+        let routing = Arc::new(RwLock::new(split_routing()));
+        let old = Arc::new(RwLock::new(None));
+        let mut d = Dispatcher::new(routing, old, Arc::clone(&metrics));
+        let (tx0, rx0) = bounded::<WorkerMessage>(16);
+        let (tx1, rx1) = bounded::<WorkerMessage>(16);
+        let emitter = Emitter::new(vec![tx0, tx1]);
+
+        // a query spanning both halves goes to both workers
+        let q = query(1, 7, Rect::from_coords(0.0, 0.0, 16.0, 16.0));
+        d.process(
+            Envelope::now(0, StreamRecord::Update(QueryUpdate::Insert(q.clone()))),
+            &emitter,
+        );
+        assert!(matches!(rx0.try_recv().unwrap(), WorkerMessage::Record(_)));
+        assert!(matches!(rx1.try_recv().unwrap(), WorkerMessage::Record(_)));
+
+        // an object in the left half with the registered keyword goes to worker 0 only
+        d.process(
+            Envelope::now(1, StreamRecord::Object(object(1, 7, 1.0, 1.0))),
+            &emitter,
+        );
+        assert!(matches!(rx0.try_recv().unwrap(), WorkerMessage::Record(_)));
+        assert!(rx1.try_recv().is_err());
+
+        // an object with an unregistered keyword is discarded
+        d.process(
+            Envelope::now(2, StreamRecord::Object(object(2, 99, 1.0, 1.0))),
+            &emitter,
+        );
+        assert!(rx0.try_recv().is_err());
+        assert_eq!(metrics.discarded_objects.load(Ordering::Relaxed), 1);
+
+        // the deletion follows the insertion's routing
+        d.process(
+            Envelope::now(3, StreamRecord::Update(QueryUpdate::Delete(q))),
+            &emitter,
+        );
+        assert!(matches!(rx0.try_recv().unwrap(), WorkerMessage::Record(_)));
+        assert!(matches!(rx1.try_recv().unwrap(), WorkerMessage::Record(_)));
+    }
+
+    #[test]
+    fn handover_routes_objects_through_both_tables() {
+        let metrics = SystemMetrics::new(2);
+        // new table sends everything to worker 0; old table to worker 1
+        let grid = ps2stream_geo::UniformGrid::new(Rect::from_coords(0.0, 0.0, 16.0, 16.0), 4, 4);
+        let new_cells = vec![CellRouting::Single(WorkerId(0)); grid.num_cells()];
+        let mut new_table =
+            RoutingTable::new(grid.clone(), new_cells, 2, Arc::new(TermStats::new()), "new");
+        let old_cells = vec![CellRouting::Single(WorkerId(1)); grid.num_cells()];
+        let mut old_table =
+            RoutingTable::new(grid, old_cells, 2, Arc::new(TermStats::new()), "old");
+        // the keyword is registered in both tables
+        let q = query(1, 7, Rect::from_coords(0.0, 0.0, 16.0, 16.0));
+        new_table.route_insert(&q);
+        old_table.route_insert(&q);
+
+        let routing = Arc::new(RwLock::new(new_table));
+        let old = Arc::new(RwLock::new(Some(old_table)));
+        let mut d = Dispatcher::new(routing, old, metrics);
+        let (tx0, rx0) = bounded::<WorkerMessage>(16);
+        let (tx1, rx1) = bounded::<WorkerMessage>(16);
+        let emitter = Emitter::new(vec![tx0, tx1]);
+        d.process(
+            Envelope::now(0, StreamRecord::Object(object(1, 7, 1.0, 1.0))),
+            &emitter,
+        );
+        assert!(rx0.try_recv().is_ok());
+        assert!(rx1.try_recv().is_ok());
+    }
+}

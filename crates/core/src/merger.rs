@@ -1,0 +1,146 @@
+//! The merger executor.
+//!
+//! Workers may produce the same (query, object) match more than once when a
+//! query is replicated on several workers (space partitioning duplicates
+//! queries across region boundaries, the handover of the global adjustment
+//! temporarily duplicates them across routing tables). The merger removes
+//! those duplicates and delivers the remaining results to the subscribers
+//! (Section III-B).
+
+use crate::messages::MergerMessage;
+use crate::metrics::SystemMetrics;
+use ps2stream_model::{MatchResult, ObjectId, QueryId};
+use ps2stream_stream::{Emitter, Operator, Sender};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A merger executor.
+pub struct Merger {
+    metrics: Arc<SystemMetrics>,
+    /// Optional delivery channel towards the subscribers (tests and examples
+    /// consume matches from here).
+    delivery: Option<Sender<MatchResult>>,
+    /// Recently seen (object → matched queries) used for deduplication.
+    seen: HashMap<ObjectId, HashSet<QueryId>>,
+    /// FIFO of objects for bounded-memory eviction.
+    order: VecDeque<ObjectId>,
+    /// Maximum number of objects tracked for deduplication.
+    capacity: usize,
+}
+
+impl Merger {
+    /// Creates a merger tracking up to `capacity` recent objects for
+    /// deduplication.
+    pub fn new(
+        metrics: Arc<SystemMetrics>,
+        delivery: Option<Sender<MatchResult>>,
+        capacity: usize,
+    ) -> Self {
+        Self {
+            metrics,
+            delivery,
+            seen: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    fn note_object(&mut self, object: ObjectId) -> &mut HashSet<QueryId> {
+        if !self.seen.contains_key(&object) {
+            if self.order.len() >= self.capacity {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.seen.remove(&evicted);
+                }
+            }
+            self.order.push_back(object);
+            self.seen.insert(object, HashSet::new());
+        }
+        self.seen.get_mut(&object).expect("just inserted")
+    }
+}
+
+impl Operator for Merger {
+    type In = MergerMessage;
+    type Out = ();
+
+    fn process(&mut self, input: MergerMessage, _emitter: &Emitter<()>) {
+        let MergerMessage::Matches(envelope) = input;
+        let latency = envelope.latency();
+        let mut delivered = 0u64;
+        let mut duplicates = 0u64;
+        for m in &envelope.payload {
+            let per_object = self.note_object(m.object_id);
+            if per_object.insert(m.query_id) {
+                delivered += 1;
+                if let Some(tx) = &self.delivery {
+                    let _ = tx.send(*m);
+                }
+            } else {
+                duplicates += 1;
+            }
+        }
+        self.metrics
+            .matches_delivered
+            .fetch_add(delivered, Ordering::Relaxed);
+        self.metrics
+            .duplicates_removed
+            .fetch_add(duplicates, Ordering::Relaxed);
+        self.metrics.latency.record(latency);
+        self.metrics.throughput.record(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps2stream_model::SubscriberId;
+    use ps2stream_stream::{unbounded, Envelope};
+
+    fn matches(object: u64, queries: &[u64]) -> MergerMessage {
+        MergerMessage::Matches(Envelope::now(
+            object,
+            queries
+                .iter()
+                .map(|q| MatchResult::new(QueryId(*q), SubscriberId(*q), ObjectId(object)))
+                .collect(),
+        ))
+    }
+
+    #[test]
+    fn merger_deduplicates_and_delivers() {
+        let metrics = SystemMetrics::new(1);
+        let (tx, rx) = unbounded::<MatchResult>();
+        let mut merger = Merger::new(Arc::clone(&metrics), Some(tx), 100);
+        let emitter = Emitter::sink();
+        merger.process(matches(1, &[10, 11]), &emitter);
+        // the same (object, query) pair arriving from another worker is a duplicate
+        merger.process(matches(1, &[10, 12]), &emitter);
+        assert_eq!(metrics.matches_delivered.load(Ordering::Relaxed), 3);
+        assert_eq!(metrics.duplicates_removed.load(Ordering::Relaxed), 1);
+        let delivered: Vec<MatchResult> = rx.try_iter().collect();
+        assert_eq!(delivered.len(), 3);
+    }
+
+    #[test]
+    fn merger_without_delivery_channel_still_counts() {
+        let metrics = SystemMetrics::new(1);
+        let mut merger = Merger::new(Arc::clone(&metrics), None, 100);
+        merger.process(matches(5, &[1]), &Emitter::sink());
+        assert_eq!(metrics.matches_delivered.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn eviction_bounds_memory_but_keeps_recent_objects_deduplicated() {
+        let metrics = SystemMetrics::new(1);
+        let mut merger = Merger::new(Arc::clone(&metrics), None, 2);
+        let emitter = Emitter::sink();
+        merger.process(matches(1, &[1]), &emitter);
+        merger.process(matches(2, &[1]), &emitter);
+        merger.process(matches(3, &[1]), &emitter); // evicts object 1
+        assert!(merger.seen.len() <= 2);
+        // object 3 is still tracked: a duplicate is suppressed
+        merger.process(matches(3, &[1]), &emitter);
+        assert_eq!(metrics.duplicates_removed.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,97 @@
+//! Messages exchanged between the executors of a PS2Stream topology.
+
+use ps2stream_balance::CellLoadInfo;
+use ps2stream_geo::CellId;
+use ps2stream_model::{MatchResult, StreamRecord, StsQuery, WorkerId};
+use ps2stream_partition::WorkerLoad;
+use ps2stream_stream::{Envelope, Sender};
+use ps2stream_text::TermId;
+
+/// A message delivered to a worker executor.
+#[derive(Debug)]
+pub enum WorkerMessage {
+    /// A routed stream record (object to match or query update to apply).
+    Record(Envelope<StreamRecord>),
+    /// Control: extract the queries of `cell` (restricted to `terms` when
+    /// present) and ship them to worker `to` (local load adjustment).
+    MigrateCell {
+        /// The cell whose queries move.
+        cell: CellId,
+        /// When present, only queries using at least one of these keywords
+        /// move (Phase-I text split / merge); otherwise the whole cell moves.
+        terms: Option<Vec<TermId>>,
+        /// Destination worker.
+        to: WorkerId,
+    },
+    /// Control: queries migrated from another worker; index them.
+    MigrateIn {
+        /// The migrated queries.
+        queries: Vec<StsQuery>,
+    },
+    /// Control: report the load observed since the previous report and reset
+    /// the period counters.
+    CollectStats {
+        /// Channel on which to send the report.
+        reply: Sender<WorkerStatsReport>,
+    },
+    /// Control: drain and terminate.
+    Shutdown,
+}
+
+/// A message delivered to a merger executor.
+#[derive(Debug)]
+pub enum MergerMessage {
+    /// Match results produced by a worker for one object.
+    Matches(Envelope<Vec<MatchResult>>),
+}
+
+/// A worker's answer to [`WorkerMessage::CollectStats`].
+#[derive(Debug, Clone)]
+pub struct WorkerStatsReport {
+    /// The reporting worker.
+    pub worker: WorkerId,
+    /// Tuple counts of the period (Definition 1 inputs).
+    pub load: WorkerLoad,
+    /// Per-cell load information for the adjustment planner.
+    pub cells: Vec<CellLoadInfo>,
+    /// Number of STS queries currently indexed.
+    pub indexed_queries: usize,
+    /// Approximate memory footprint of the worker's GI² index in bytes.
+    pub memory_bytes: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps2stream_geo::Point;
+    use ps2stream_model::{ObjectId, SpatioTextualObject};
+
+    #[test]
+    fn worker_message_variants_construct() {
+        let record = WorkerMessage::Record(Envelope::now(
+            0,
+            StreamRecord::Object(SpatioTextualObject::new(ObjectId(1), vec![], Point::origin())),
+        ));
+        assert!(matches!(record, WorkerMessage::Record(_)));
+        let migrate = WorkerMessage::MigrateCell {
+            cell: CellId::new(1, 2),
+            terms: Some(vec![TermId(3)]),
+            to: WorkerId(4),
+        };
+        assert!(matches!(migrate, WorkerMessage::MigrateCell { .. }));
+        assert!(matches!(WorkerMessage::Shutdown, WorkerMessage::Shutdown));
+    }
+
+    #[test]
+    fn stats_report_holds_load() {
+        let report = WorkerStatsReport {
+            worker: WorkerId(1),
+            load: WorkerLoad::new(10, 2, 1),
+            cells: vec![],
+            indexed_queries: 5,
+            memory_bytes: 1024,
+        };
+        assert_eq!(report.load.tuples(), 13);
+        assert_eq!(report.worker, WorkerId(1));
+    }
+}

@@ -1,0 +1,360 @@
+//! Assembling and running a PS2Stream topology.
+//!
+//! [`Ps2StreamBuilder`] wires the executors of Figure 1 together — the
+//! dispatchers, the workers and the mergers — on top of the in-process
+//! dataflow substrate, using the routing table produced by a workload
+//! partitioner. [`RunningSystem`] is the handle used to feed the stream and,
+//! at the end of a run, collect the [`RunReport`] with the throughput,
+//! latency, memory and migration statistics the paper's figures report.
+
+use crate::config::SystemConfig;
+use crate::controller::AdjustmentController;
+use crate::dispatcher::Dispatcher;
+use crate::merger::Merger;
+use crate::messages::{MergerMessage, WorkerMessage};
+use crate::metrics::{RunReport, SystemMetrics};
+use crate::worker::Worker;
+use parking_lot::RwLock;
+use ps2stream_index::{Gi2Config, Gi2Index};
+use ps2stream_model::{MatchResult, StreamRecord};
+use ps2stream_partition::{
+    HybridPartitioner, Partitioner, RoutingTable, WorkloadSample,
+};
+use ps2stream_stream::{bounded, unbounded, run_operator, Emitter, Envelope, Sender};
+use ps2stream_text::TermStats;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Builds a PS2Stream deployment.
+pub struct Ps2StreamBuilder {
+    config: SystemConfig,
+    partitioner: Box<dyn Partitioner>,
+    sample: Option<WorkloadSample>,
+    routing: Option<RoutingTable>,
+    delivery: Option<Sender<MatchResult>>,
+}
+
+impl Ps2StreamBuilder {
+    /// Starts building a system with the given configuration. The hybrid
+    /// partitioner is used unless another one is selected.
+    pub fn new(config: SystemConfig) -> Self {
+        Self {
+            config,
+            partitioner: Box::new(HybridPartitioner::default()),
+            sample: None,
+            routing: None,
+            delivery: None,
+        }
+    }
+
+    /// Selects the workload partitioning strategy.
+    pub fn with_partitioner(mut self, partitioner: Box<dyn Partitioner>) -> Self {
+        self.partitioner = partitioner;
+        self
+    }
+
+    /// Provides the calibration sample the partitioner analyses to build the
+    /// initial routing table.
+    pub fn with_calibration_sample(mut self, sample: WorkloadSample) -> Self {
+        self.sample = Some(sample);
+        self
+    }
+
+    /// Uses an explicit, pre-built routing table (skips the partitioner).
+    pub fn with_routing_table(mut self, routing: RoutingTable) -> Self {
+        self.routing = Some(routing);
+        self
+    }
+
+    /// Registers a channel on which deduplicated match results are delivered
+    /// to subscribers.
+    pub fn with_delivery(mut self, delivery: Sender<MatchResult>) -> Self {
+        self.delivery = Some(delivery);
+        self
+    }
+
+    /// Builds the routing table, spawns every executor and returns the
+    /// running system.
+    ///
+    /// # Panics
+    /// Panics if neither a routing table nor a calibration sample was
+    /// provided.
+    pub fn start(self) -> RunningSystem {
+        let config = self.config;
+        let (routing, seed_stats) = match (self.routing, self.sample) {
+            (Some(routing), sample) => {
+                let stats = sample.map(|s| s.object_stats().clone());
+                (routing, stats)
+            }
+            (None, Some(sample)) => {
+                let routing = self.partitioner.partition(&sample, config.num_workers);
+                (routing, Some(sample.object_stats().clone()))
+            }
+            (None, None) => panic!(
+                "Ps2StreamBuilder::start requires a calibration sample or an explicit routing table"
+            ),
+        };
+        RunningSystem::launch(config, routing, seed_stats, self.delivery)
+    }
+}
+
+/// A running PS2Stream deployment.
+pub struct RunningSystem {
+    input: Option<Sender<Envelope<StreamRecord>>>,
+    sequence: u64,
+    records_in: u64,
+    metrics: Arc<SystemMetrics>,
+    routing: Arc<RwLock<RoutingTable>>,
+    worker_txs: Vec<Sender<WorkerMessage>>,
+    controller_stop: Arc<AtomicBool>,
+    controller: Option<JoinHandle<()>>,
+    dispatchers: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    mergers: Vec<JoinHandle<()>>,
+}
+
+impl RunningSystem {
+    fn launch(
+        config: SystemConfig,
+        routing: RoutingTable,
+        seed_stats: Option<TermStats>,
+        delivery: Option<Sender<MatchResult>>,
+    ) -> Self {
+        assert!(config.num_workers > 0, "at least one worker is required");
+        assert!(config.num_dispatchers > 0, "at least one dispatcher is required");
+        assert!(config.num_mergers > 0, "at least one merger is required");
+        let metrics = SystemMetrics::new(config.num_workers);
+        let bounds = routing.grid().bounds();
+        let routing = Arc::new(RwLock::new(routing));
+        let old_routing: Arc<RwLock<Option<RoutingTable>>> = Arc::new(RwLock::new(None));
+
+        // channels
+        let (input_tx, input_rx) = bounded::<Envelope<StreamRecord>>(config.input_capacity);
+        let mut worker_txs = Vec::with_capacity(config.num_workers);
+        let mut worker_rxs = Vec::with_capacity(config.num_workers);
+        for _ in 0..config.num_workers {
+            let (tx, rx) = unbounded::<WorkerMessage>();
+            worker_txs.push(tx);
+            worker_rxs.push(rx);
+        }
+        let mut merger_txs = Vec::with_capacity(config.num_mergers);
+        let mut merger_rxs = Vec::with_capacity(config.num_mergers);
+        for _ in 0..config.num_mergers {
+            let (tx, rx) = bounded::<MergerMessage>(config.merger_capacity);
+            merger_txs.push(tx);
+            merger_rxs.push(rx);
+        }
+
+        // mergers
+        let mut mergers = Vec::with_capacity(config.num_mergers);
+        for (i, rx) in merger_rxs.into_iter().enumerate() {
+            let merger = Merger::new(Arc::clone(&metrics), delivery.clone(), 100_000);
+            mergers.push(
+                std::thread::Builder::new()
+                    .name(format!("merger-{i}"))
+                    .spawn(move || {
+                        run_operator(merger, rx, Emitter::sink());
+                    })
+                    .expect("spawn merger"),
+            );
+        }
+        drop(delivery);
+
+        // workers
+        let mut workers = Vec::with_capacity(config.num_workers);
+        for (i, rx) in worker_rxs.into_iter().enumerate() {
+            let mut index = Gi2Index::new(
+                Gi2Config::new(bounds).with_granularity_exp(config.grid_exp),
+            );
+            if let Some(stats) = &seed_stats {
+                index.set_term_stats(stats.clone());
+            }
+            let worker = Worker::new(
+                ps2stream_model::WorkerId(i as u32),
+                index,
+                worker_txs.clone(),
+                merger_txs.clone(),
+                Arc::clone(&metrics),
+            );
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("worker-{i}"))
+                    .spawn(move || {
+                        let _ = worker.run(rx);
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+        drop(merger_txs);
+
+        // dispatchers
+        let mut dispatchers = Vec::with_capacity(config.num_dispatchers);
+        for i in 0..config.num_dispatchers {
+            let dispatcher = Dispatcher::new(
+                Arc::clone(&routing),
+                Arc::clone(&old_routing),
+                Arc::clone(&metrics),
+            );
+            let rx = input_rx.clone();
+            let emitter = Emitter::new(worker_txs.clone());
+            dispatchers.push(
+                std::thread::Builder::new()
+                    .name(format!("dispatcher-{i}"))
+                    .spawn(move || {
+                        run_operator(dispatcher, rx, emitter);
+                    })
+                    .expect("spawn dispatcher"),
+            );
+        }
+        drop(input_rx);
+
+        // adjustment controller
+        let controller_stop = Arc::new(AtomicBool::new(false));
+        let controller = config.adjustment.clone().map(|adjustment| {
+            let controller = AdjustmentController::new(
+                adjustment,
+                config.costs,
+                Arc::clone(&routing),
+                worker_txs.clone(),
+                Arc::clone(&metrics),
+                Arc::clone(&controller_stop),
+            );
+            std::thread::Builder::new()
+                .name("adjustment-controller".to_owned())
+                .spawn(move || controller.run())
+                .expect("spawn controller")
+        });
+
+        Self {
+            input: Some(input_tx),
+            sequence: 0,
+            records_in: 0,
+            metrics,
+            routing,
+            worker_txs,
+            controller_stop,
+            controller,
+            dispatchers,
+            workers,
+            mergers,
+        }
+    }
+
+    /// Feeds one record into the system, blocking when the input channel is
+    /// full (this is the saturation point used for throughput measurements).
+    pub fn send(&mut self, record: StreamRecord) {
+        self.records_in += 1;
+        self.sequence += 1;
+        if let Some(input) = &self.input {
+            let _ = input.send(Envelope::now(self.sequence, record));
+        }
+    }
+
+    /// Number of records fed so far.
+    pub fn records_sent(&self) -> u64 {
+        self.records_in
+    }
+
+    /// Live metrics of the run.
+    pub fn metrics(&self) -> &Arc<SystemMetrics> {
+        &self.metrics
+    }
+
+    /// The shared routing table (examples use this to inspect the current
+    /// assignment; the adjustment controller mutates it).
+    pub fn routing(&self) -> Arc<RwLock<RoutingTable>> {
+        Arc::clone(&self.routing)
+    }
+
+    /// Closes the input, drains every executor and returns the final report.
+    pub fn finish(mut self) -> RunReport {
+        // 1. close the input: dispatchers drain and terminate
+        self.input = None;
+        for d in self.dispatchers.drain(..) {
+            d.join().expect("dispatcher panicked");
+        }
+        // 2. stop the adjustment controller
+        self.controller_stop.store(true, Ordering::Relaxed);
+        if let Some(c) = self.controller.take() {
+            c.join().expect("controller panicked");
+        }
+        // 3. tell the workers to drain and stop
+        for tx in &self.worker_txs {
+            let _ = tx.send(WorkerMessage::Shutdown);
+        }
+        for w in self.workers.drain(..) {
+            w.join().expect("worker panicked");
+        }
+        self.worker_txs.clear();
+        // 4. mergers terminate once every worker has dropped its senders
+        for m in self.mergers.drain(..) {
+            m.join().expect("merger panicked");
+        }
+        self.metrics
+            .dispatcher_memory
+            .store(self.routing.read().memory_usage(), Ordering::Relaxed);
+        RunReport::from_metrics(&self.metrics, self.records_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps2stream_partition::KdTreePartitioner;
+    use ps2stream_workload::{build_sample, DatasetSpec, QueryClass};
+
+    #[test]
+    #[should_panic(expected = "requires a calibration sample")]
+    fn builder_requires_sample_or_table() {
+        let _ = Ps2StreamBuilder::new(SystemConfig::default()).start();
+    }
+
+    #[test]
+    fn small_end_to_end_run_completes() {
+        let sample = build_sample(DatasetSpec::tiny(), QueryClass::Q1, 400, 80, 1);
+        // a single dispatcher keeps the insert-before-object ordering
+        // deterministic, so the exact match count can be asserted
+        let config = SystemConfig {
+            num_dispatchers: 1,
+            num_workers: 3,
+            num_mergers: 1,
+            ..SystemConfig::default()
+        };
+        let (delivery_tx, delivery_rx) = unbounded::<MatchResult>();
+        let mut system = Ps2StreamBuilder::new(config)
+            .with_partitioner(Box::new(KdTreePartitioner::default()))
+            .with_calibration_sample(sample.clone())
+            .with_delivery(delivery_tx)
+            .start();
+
+        // feed the calibration queries, then the calibration objects
+        for q in sample.insertions() {
+            system.send(StreamRecord::Update(ps2stream_model::QueryUpdate::Insert(
+                q.clone(),
+            )));
+        }
+        for o in sample.objects() {
+            system.send(StreamRecord::Object(o.clone()));
+        }
+        let records = system.records_sent();
+        let report = system.finish();
+        assert_eq!(report.records_in, records);
+        assert_eq!(report.records_in, 480);
+        // deduplicated matches delivered on the subscription channel agree
+        // with the report
+        let delivered: Vec<MatchResult> = delivery_rx.try_iter().collect();
+        assert_eq!(delivered.len() as u64, report.matches_delivered);
+        // matching results must be exactly the brute-force expectation
+        let mut expected = 0u64;
+        for o in sample.objects() {
+            for q in sample.insertions() {
+                if q.matches(o) {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(report.matches_delivered, expected);
+        assert!(report.throughput_tps > 0.0);
+    }
+}

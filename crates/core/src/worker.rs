@@ -1,0 +1,344 @@
+//! The worker executor.
+//!
+//! Every worker maintains a GI² index over the STS queries routed to it
+//! (Section IV-D): it applies query insertions and deletions, matches
+//! incoming objects and forwards match results to the mergers. Workers also
+//! execute the control messages of the dynamic load adjustment: they report
+//! their per-cell loads, extract the queries of migrated cells and index
+//! queries migrated in from peers.
+
+use crate::messages::{MergerMessage, WorkerMessage, WorkerStatsReport};
+use crate::metrics::SystemMetrics;
+use ps2stream_balance::{CellLoadInfo, TermLoad};
+use ps2stream_index::Gi2Index;
+use ps2stream_model::{QueryUpdate, StreamRecord, WorkerId};
+use ps2stream_partition::WorkerLoad;
+use ps2stream_stream::{Receiver, Sender};
+use ps2stream_text::TermId;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A worker executor.
+pub struct Worker {
+    id: WorkerId,
+    index: Gi2Index,
+    /// Senders to every worker (including this one) for migration traffic.
+    peers: Vec<Sender<WorkerMessage>>,
+    /// Senders to the mergers; results are routed by object id.
+    mergers: Vec<Sender<MergerMessage>>,
+    metrics: Arc<SystemMetrics>,
+    /// Tuple counts since the last stats report.
+    period_load: WorkerLoad,
+}
+
+impl Worker {
+    /// Creates a worker.
+    pub fn new(
+        id: WorkerId,
+        index: Gi2Index,
+        peers: Vec<Sender<WorkerMessage>>,
+        mergers: Vec<Sender<MergerMessage>>,
+        metrics: Arc<SystemMetrics>,
+    ) -> Self {
+        Self {
+            id,
+            index,
+            peers,
+            mergers,
+            metrics,
+            period_load: WorkerLoad::default(),
+        }
+    }
+
+    /// The worker's GI² index (exposed for tests).
+    pub fn index(&self) -> &Gi2Index {
+        &self.index
+    }
+
+    fn handle_record(&mut self, envelope: ps2stream_stream::Envelope<StreamRecord>) {
+        match &envelope.payload {
+            StreamRecord::Object(o) => {
+                self.period_load.objects += 1;
+                let matches = self.index.match_object(o);
+                if matches.is_empty() {
+                    // tuple finished here
+                    self.metrics.latency.record(envelope.latency());
+                    self.metrics.throughput.record(1);
+                } else {
+                    let merger = (o.id.value() as usize) % self.mergers.len().max(1);
+                    let msg = MergerMessage::Matches(envelope.derive(matches));
+                    if let Some(tx) = self.mergers.get(merger) {
+                        let _ = tx.send(msg);
+                    }
+                }
+            }
+            StreamRecord::Update(QueryUpdate::Insert(q)) => {
+                self.period_load.insertions += 1;
+                self.index.insert(q.clone());
+                self.metrics.latency.record(envelope.latency());
+                self.metrics.throughput.record(1);
+            }
+            StreamRecord::Update(QueryUpdate::Delete(q)) => {
+                self.period_load.deletions += 1;
+                self.index.delete(q);
+                self.metrics.latency.record(envelope.latency());
+                self.metrics.throughput.record(1);
+            }
+        }
+    }
+
+    fn handle_migrate_out(&mut self, cell: ps2stream_geo::CellId, terms: Option<Vec<TermId>>, to: WorkerId) {
+        let start = Instant::now();
+        let queries = match &terms {
+            None => self.index.extract_cell(cell),
+            Some(terms) => self.index.extract_cell_where(cell, |q| {
+                q.keywords.all_terms().iter().any(|t| terms.contains(t))
+            }),
+        };
+        if queries.is_empty() {
+            return;
+        }
+        let bytes: usize = queries.iter().map(|q| q.memory_usage()).sum();
+        self.metrics
+            .migration
+            .bytes_moved
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.metrics.migration.moves.fetch_add(1, Ordering::Relaxed);
+        if let Some(peer) = self.peers.get(to.index()) {
+            let _ = peer.send(WorkerMessage::MigrateIn { queries });
+        }
+        self.metrics
+            .migration
+            .migration_time_us
+            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+    }
+
+    fn handle_migrate_in(&mut self, queries: Vec<ps2stream_model::StsQuery>) {
+        let start = Instant::now();
+        for q in queries {
+            self.index.insert(q);
+        }
+        self.metrics
+            .migration
+            .migration_time_us
+            .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+    }
+
+    fn stats_report(&mut self) -> WorkerStatsReport {
+        let cells: Vec<CellLoadInfo> = self
+            .index
+            .cell_loads()
+            .into_iter()
+            .map(|c| {
+                let term_loads: Vec<TermLoad> = self
+                    .index
+                    .cell_term_stats(c.cell)
+                    .into_iter()
+                    .map(|t| TermLoad {
+                        term: t.term,
+                        queries: t.queries,
+                        objects: t.object_hits,
+                        size: if c.queries > 0 {
+                            (c.bytes as u64).saturating_mul(t.queries) / c.queries as u64
+                        } else {
+                            0
+                        },
+                    })
+                    .collect();
+                CellLoadInfo {
+                    cell: c.cell,
+                    objects: c.objects,
+                    queries: c.queries as u64,
+                    size: c.bytes as u64,
+                    text_split: false,
+                    term_loads,
+                }
+            })
+            .collect();
+        let report = WorkerStatsReport {
+            worker: self.id,
+            load: self.period_load,
+            cells,
+            indexed_queries: self.index.num_queries(),
+            memory_bytes: self.index.memory_usage(),
+        };
+        // cumulative accounting, then reset the period
+        self.metrics.add_worker_load(self.id.index(), &self.period_load);
+        self.period_load = WorkerLoad::default();
+        self.index.reset_load_counters();
+        report
+    }
+
+    /// Runs the worker loop until a [`WorkerMessage::Shutdown`] is received
+    /// or every sender disconnects. Returns the worker for inspection.
+    pub fn run(mut self, input: Receiver<WorkerMessage>) -> Self {
+        while let Ok(message) = input.recv() {
+            match message {
+                WorkerMessage::Record(envelope) => self.handle_record(envelope),
+                WorkerMessage::MigrateCell { cell, terms, to } => {
+                    self.handle_migrate_out(cell, terms, to)
+                }
+                WorkerMessage::MigrateIn { queries } => self.handle_migrate_in(queries),
+                WorkerMessage::CollectStats { reply } => {
+                    let _ = reply.send(self.stats_report());
+                }
+                WorkerMessage::Shutdown => break,
+            }
+        }
+        // final accounting
+        self.metrics.add_worker_load(self.id.index(), &self.period_load);
+        self.period_load = WorkerLoad::default();
+        self.metrics
+            .set_worker_memory(self.id.index(), self.index.memory_usage());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps2stream_geo::{Point, Rect};
+    use ps2stream_index::Gi2Config;
+    use ps2stream_model::{ObjectId, QueryId, SpatioTextualObject, StsQuery, SubscriberId};
+    use ps2stream_stream::{bounded, unbounded, Envelope};
+    use ps2stream_text::BooleanExpr;
+
+    fn gi2() -> Gi2Index {
+        Gi2Index::new(Gi2Config::new(Rect::from_coords(0.0, 0.0, 16.0, 16.0)).with_granularity_exp(3))
+    }
+
+    fn query(id: u64, term: u32, region: Rect) -> StsQuery {
+        StsQuery::new(
+            QueryId(id),
+            SubscriberId(id),
+            BooleanExpr::single(TermId(term)),
+            region,
+        )
+    }
+
+    fn object(id: u64, term: u32, x: f64, y: f64) -> SpatioTextualObject {
+        SpatioTextualObject::new(ObjectId(id), vec![TermId(term)], Point::new(x, y))
+    }
+
+    #[test]
+    fn worker_indexes_matches_and_reports() {
+        let metrics = SystemMetrics::new(1);
+        let (worker_tx, worker_rx) = unbounded::<WorkerMessage>();
+        let (merger_tx, merger_rx) = bounded::<MergerMessage>(16);
+        let (stats_tx, stats_rx) = unbounded::<WorkerStatsReport>();
+        let worker = Worker::new(
+            WorkerId(0),
+            gi2(),
+            vec![worker_tx.clone()],
+            vec![merger_tx],
+            Arc::clone(&metrics),
+        );
+
+        let q = query(1, 7, Rect::from_coords(0.0, 0.0, 8.0, 8.0));
+        worker_tx
+            .send(WorkerMessage::Record(Envelope::now(
+                0,
+                StreamRecord::Update(QueryUpdate::Insert(q.clone())),
+            )))
+            .unwrap();
+        // matching object
+        worker_tx
+            .send(WorkerMessage::Record(Envelope::now(
+                1,
+                StreamRecord::Object(object(10, 7, 2.0, 2.0)),
+            )))
+            .unwrap();
+        // non-matching object
+        worker_tx
+            .send(WorkerMessage::Record(Envelope::now(
+                2,
+                StreamRecord::Object(object(11, 8, 2.0, 2.0)),
+            )))
+            .unwrap();
+        worker_tx
+            .send(WorkerMessage::CollectStats { reply: stats_tx })
+            .unwrap();
+        // delete, then shut down
+        worker_tx
+            .send(WorkerMessage::Record(Envelope::now(
+                3,
+                StreamRecord::Update(QueryUpdate::Delete(q)),
+            )))
+            .unwrap();
+        worker_tx.send(WorkerMessage::Shutdown).unwrap();
+
+        let worker = worker.run(worker_rx);
+        assert_eq!(worker.index().num_queries(), 0);
+
+        // one match forwarded to the merger
+        let MergerMessage::Matches(env) = merger_rx.try_recv().unwrap();
+        assert_eq!(env.payload.len(), 1);
+        assert_eq!(env.payload[0].query_id, QueryId(1));
+        assert!(merger_rx.try_recv().is_err());
+
+        // the stats report reflects the period before the delete
+        let report = stats_rx.try_recv().unwrap();
+        assert_eq!(report.load.objects, 2);
+        assert_eq!(report.load.insertions, 1);
+        assert_eq!(report.load.deletions, 0);
+        assert_eq!(report.indexed_queries, 1);
+        assert!(!report.cells.is_empty());
+        assert!(report.memory_bytes > 0);
+
+        // cumulative metrics include the post-report delete
+        let loads = metrics.worker_loads.lock();
+        assert_eq!(loads[0].deletions, 1);
+        assert_eq!(loads[0].objects, 2);
+    }
+
+    #[test]
+    fn migration_between_workers_moves_queries() {
+        let metrics = SystemMetrics::new(2);
+        let (tx_a, rx_a) = unbounded::<WorkerMessage>();
+        let (tx_b, rx_b) = unbounded::<WorkerMessage>();
+        let (merger_tx, _merger_rx) = bounded::<MergerMessage>(16);
+        let peers = vec![tx_a.clone(), tx_b.clone()];
+        let worker_a = Worker::new(
+            WorkerId(0),
+            gi2(),
+            peers.clone(),
+            vec![merger_tx.clone()],
+            Arc::clone(&metrics),
+        );
+        let worker_b = Worker::new(
+            WorkerId(1),
+            gi2(),
+            peers,
+            vec![merger_tx],
+            Arc::clone(&metrics),
+        );
+
+        // index a query confined to one cell on worker A
+        let q = query(1, 7, Rect::from_coords(0.5, 0.5, 1.5, 1.5));
+        tx_a.send(WorkerMessage::Record(Envelope::now(
+            0,
+            StreamRecord::Update(QueryUpdate::Insert(q)),
+        )))
+        .unwrap();
+        // migrate the cell containing (1,1) to worker B
+        let cell = worker_a.index().grid().cell_of(&Point::new(1.0, 1.0)).unwrap();
+        tx_a.send(WorkerMessage::MigrateCell {
+            cell,
+            terms: None,
+            to: WorkerId(1),
+        })
+        .unwrap();
+        tx_a.send(WorkerMessage::Shutdown).unwrap();
+        let a = worker_a.run(rx_a);
+        assert_eq!(a.index().num_queries(), 0);
+        drop(tx_a);
+
+        // worker B receives the MigrateIn and indexes the query
+        tx_b.send(WorkerMessage::Shutdown).unwrap();
+        let b = worker_b.run(rx_b);
+        assert_eq!(b.index().num_queries(), 1);
+        assert!(metrics.migration.bytes_moved.load(Ordering::Relaxed) > 0);
+        assert_eq!(metrics.migration.moves.load(Ordering::Relaxed), 1);
+    }
+}

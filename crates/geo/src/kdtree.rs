@@ -1,0 +1,431 @@
+//! Weighted kd-tree spatial decomposition.
+//!
+//! The kd-tree partitioning baseline (used by Tornado and AQWA, evaluated in
+//! Figure 6 of the paper) recursively splits the space at the weighted median
+//! of the sample points, so that each leaf receives an approximately equal
+//! share of the workload. The hybrid partitioner reuses the same splitting
+//! machinery for its spatial phase.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// A sample point together with the amount of load it represents
+/// (e.g. "1.0 per object observed at this location").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeightedPoint {
+    /// Location of the sample.
+    pub point: Point,
+    /// Non-negative load weight.
+    pub weight: f64,
+}
+
+impl WeightedPoint {
+    /// Creates a weighted sample point.
+    #[inline]
+    pub fn new(point: Point, weight: f64) -> Self {
+        Self { point, weight }
+    }
+}
+
+/// How the split dimension is chosen at each level of the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SplitAxis {
+    /// Alternate between x and y, starting with x (classic kd-tree).
+    #[default]
+    Alternate,
+    /// Always split the longer side of the node's rectangle.
+    LongestExtent,
+}
+
+/// A node of the kd-tree decomposition.
+#[derive(Debug, Clone)]
+pub enum KdNode {
+    /// Internal node split along `dim` at `value`.
+    Internal {
+        /// Bounding rectangle of this subtree.
+        rect: Rect,
+        /// Split dimension (0 = x, 1 = y).
+        dim: usize,
+        /// Split coordinate.
+        value: f64,
+        /// Subtree covering coordinates `< value`.
+        low: Box<KdNode>,
+        /// Subtree covering coordinates `>= value`.
+        high: Box<KdNode>,
+    },
+    /// Leaf region.
+    Leaf {
+        /// Rectangle covered by this leaf.
+        rect: Rect,
+        /// Total sample weight that fell into this leaf.
+        weight: f64,
+        /// Number of sample points in this leaf.
+        count: usize,
+    },
+}
+
+impl KdNode {
+    /// The rectangle covered by this node.
+    pub fn rect(&self) -> Rect {
+        match self {
+            KdNode::Internal { rect, .. } | KdNode::Leaf { rect, .. } => *rect,
+        }
+    }
+}
+
+/// A kd-tree decomposition of a bounding rectangle into leaf regions of
+/// approximately equal sample weight.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    root: KdNode,
+    leaves: Vec<LeafRegion>,
+}
+
+/// A leaf region of the kd-tree decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeafRegion {
+    /// Rectangle covered by the leaf.
+    pub rect: Rect,
+    /// Total sample weight in the leaf.
+    pub weight: f64,
+    /// Number of samples in the leaf.
+    pub count: usize,
+}
+
+impl KdTree {
+    /// Builds a kd-tree over `bounds` using the given weighted sample points,
+    /// stopping when `target_leaves` leaves have been produced (or when leaves
+    /// can no longer be split because they contain at most one sample).
+    ///
+    /// # Panics
+    /// Panics if `target_leaves == 0` or `bounds` is empty.
+    pub fn build(
+        bounds: Rect,
+        samples: &[WeightedPoint],
+        target_leaves: usize,
+        axis: SplitAxis,
+    ) -> Self {
+        assert!(target_leaves > 0, "KdTree::build requires target_leaves > 0");
+        assert!(!bounds.is_empty(), "KdTree::build requires non-empty bounds");
+        let mut pts: Vec<WeightedPoint> = samples
+            .iter()
+            .copied()
+            .filter(|s| bounds.contains_point(&s.point))
+            .collect();
+        let root = build_recursive(bounds, &mut pts, target_leaves, 0, axis);
+        let mut leaves = Vec::with_capacity(target_leaves);
+        collect_leaves(&root, &mut leaves);
+        Self { root, leaves }
+    }
+
+    /// The root node of the tree.
+    pub fn root(&self) -> &KdNode {
+        &self.root
+    }
+
+    /// The leaf regions of the decomposition, in depth-first order.
+    pub fn leaves(&self) -> &[LeafRegion] {
+        &self.leaves
+    }
+
+    /// Index (into [`KdTree::leaves`]) of the leaf containing the point, or
+    /// `None` if the point is outside the root bounds.
+    pub fn leaf_of(&self, p: &Point) -> Option<usize> {
+        if !self.root.rect().contains_point(p) {
+            return None;
+        }
+        let mut node = &self.root;
+        let mut leaf_index = 0usize;
+        loop {
+            match node {
+                KdNode::Leaf { .. } => return Some(leaf_index),
+                KdNode::Internal {
+                    dim, value, low, high, ..
+                } => {
+                    if p.coord(*dim) < *value {
+                        node = low;
+                    } else {
+                        leaf_index += count_leaves(low);
+                        node = high;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Indices of every leaf whose rectangle intersects `rect`.
+    pub fn leaves_overlapping(&self, rect: &Rect) -> Vec<usize> {
+        let mut out = Vec::new();
+        overlap_recursive(&self.root, rect, &mut 0, &mut out);
+        out
+    }
+}
+
+fn build_recursive(
+    rect: Rect,
+    pts: &mut [WeightedPoint],
+    target_leaves: usize,
+    depth: usize,
+    axis: SplitAxis,
+) -> KdNode {
+    let total_weight: f64 = pts.iter().map(|p| p.weight).sum();
+    if target_leaves <= 1 || pts.len() <= 1 {
+        return KdNode::Leaf {
+            rect,
+            weight: total_weight,
+            count: pts.len(),
+        };
+    }
+    let dim = match axis {
+        SplitAxis::Alternate => depth % 2,
+        SplitAxis::LongestExtent => rect.longest_dim(),
+    };
+    let Some(value) = weighted_median(pts, dim) else {
+        return KdNode::Leaf {
+            rect,
+            weight: total_weight,
+            count: pts.len(),
+        };
+    };
+    let split_idx = partition_in_place(pts, dim, value);
+    if split_idx == 0 || split_idx == pts.len() {
+        // degenerate split (all points equal along this dimension)
+        return KdNode::Leaf {
+            rect,
+            weight: total_weight,
+            count: pts.len(),
+        };
+    }
+    let (low_pts, high_pts) = pts.split_at_mut(split_idx);
+    let (low_rect, high_rect) = rect.split_at(dim, value);
+    // Split the leaf budget proportionally to the weight of each half so the
+    // resulting leaves carry approximately equal load.
+    let low_weight: f64 = low_pts.iter().map(|p| p.weight).sum();
+    let frac = if total_weight > 0.0 {
+        low_weight / total_weight
+    } else {
+        0.5
+    };
+    let low_leaves = ((target_leaves as f64 * frac).round() as usize)
+        .clamp(1, target_leaves - 1);
+    let high_leaves = target_leaves - low_leaves;
+    KdNode::Internal {
+        rect,
+        dim,
+        value,
+        low: Box::new(build_recursive(low_rect, low_pts, low_leaves, depth + 1, axis)),
+        high: Box::new(build_recursive(
+            high_rect, high_pts, high_leaves, depth + 1, axis,
+        )),
+    }
+}
+
+/// Weighted median of the points along `dim`. Returns `None` if the points
+/// carry no weight or are all identical along the dimension.
+fn weighted_median(pts: &[WeightedPoint], dim: usize) -> Option<f64> {
+    if pts.is_empty() {
+        return None;
+    }
+    let mut order: Vec<usize> = (0..pts.len()).collect();
+    order.sort_by(|&a, &b| {
+        pts[a]
+            .point
+            .coord(dim)
+            .partial_cmp(&pts[b].point.coord(dim))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let total: f64 = pts.iter().map(|p| p.weight.max(0.0)).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let lo = pts[order[0]].point.coord(dim);
+    let hi = pts[order[order.len() - 1]].point.coord(dim);
+    if hi <= lo {
+        return None;
+    }
+    let mut acc = 0.0;
+    for &i in &order {
+        acc += pts[i].weight.max(0.0);
+        if acc >= total / 2.0 {
+            let v = pts[i].point.coord(dim);
+            // Avoid a split exactly at the boundary, which would produce an
+            // empty side; nudge into the interior instead.
+            if v <= lo {
+                return Some(lo + (hi - lo) * 0.5);
+            }
+            return Some(v);
+        }
+    }
+    Some(lo + (hi - lo) * 0.5)
+}
+
+/// Partitions `pts` in place so that points with `coord < value` come first.
+/// Returns the index of the first point in the high half.
+fn partition_in_place(pts: &mut [WeightedPoint], dim: usize, value: f64) -> usize {
+    let mut i = 0usize;
+    for j in 0..pts.len() {
+        if pts[j].point.coord(dim) < value {
+            pts.swap(i, j);
+            i += 1;
+        }
+    }
+    i
+}
+
+fn collect_leaves(node: &KdNode, out: &mut Vec<LeafRegion>) {
+    match node {
+        KdNode::Leaf { rect, weight, count } => out.push(LeafRegion {
+            rect: *rect,
+            weight: *weight,
+            count: *count,
+        }),
+        KdNode::Internal { low, high, .. } => {
+            collect_leaves(low, out);
+            collect_leaves(high, out);
+        }
+    }
+}
+
+fn count_leaves(node: &KdNode) -> usize {
+    match node {
+        KdNode::Leaf { .. } => 1,
+        KdNode::Internal { low, high, .. } => count_leaves(low) + count_leaves(high),
+    }
+}
+
+fn overlap_recursive(node: &KdNode, rect: &Rect, next_leaf: &mut usize, out: &mut Vec<usize>) {
+    match node {
+        KdNode::Leaf { rect: r, .. } => {
+            if r.intersects(rect) {
+                out.push(*next_leaf);
+            }
+            *next_leaf += 1;
+        }
+        KdNode::Internal { rect: r, low, high, .. } => {
+            if !r.intersects(rect) {
+                *next_leaf += count_leaves(node);
+                return;
+            }
+            overlap_recursive(low, rect, next_leaf, out);
+            overlap_recursive(high, rect, next_leaf, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_samples(n: usize) -> Vec<WeightedPoint> {
+        // deterministic pseudo-uniform grid of samples
+        let side = (n as f64).sqrt().ceil() as usize;
+        let mut out = Vec::with_capacity(n);
+        for i in 0..n {
+            let x = (i % side) as f64 / side as f64 * 10.0 + 0.01;
+            let y = (i / side) as f64 / side as f64 * 10.0 + 0.01;
+            out.push(WeightedPoint::new(Point::new(x, y), 1.0));
+        }
+        out
+    }
+
+    #[test]
+    fn build_produces_requested_leaves() {
+        let bounds = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let samples = uniform_samples(256);
+        for target in [1usize, 2, 4, 8, 16] {
+            let tree = KdTree::build(bounds, &samples, target, SplitAxis::Alternate);
+            assert_eq!(tree.leaves().len(), target, "target={target}");
+        }
+    }
+
+    #[test]
+    fn leaves_tile_the_bounds() {
+        let bounds = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let samples = uniform_samples(200);
+        let tree = KdTree::build(bounds, &samples, 8, SplitAxis::LongestExtent);
+        let total_area: f64 = tree.leaves().iter().map(|l| l.rect.area()).sum();
+        assert!((total_area - bounds.area()).abs() < 1e-6);
+        for leaf in tree.leaves() {
+            assert!(bounds.contains_rect(&leaf.rect));
+        }
+    }
+
+    #[test]
+    fn leaf_weights_are_balanced() {
+        let bounds = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let samples = uniform_samples(1024);
+        let tree = KdTree::build(bounds, &samples, 8, SplitAxis::Alternate);
+        let weights: Vec<f64> = tree.leaves().iter().map(|l| l.weight).collect();
+        let max = weights.iter().cloned().fold(f64::MIN, f64::max);
+        let min = weights.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(min > 0.0);
+        assert!(max / min < 2.0, "imbalanced leaves: {weights:?}");
+    }
+
+    #[test]
+    fn leaf_of_matches_leaf_rect() {
+        let bounds = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let samples = uniform_samples(300);
+        let tree = KdTree::build(bounds, &samples, 6, SplitAxis::Alternate);
+        for s in &samples {
+            let idx = tree.leaf_of(&s.point).expect("sample inside bounds");
+            assert!(tree.leaves()[idx].rect.contains_point(&s.point));
+        }
+        assert_eq!(tree.leaf_of(&Point::new(-1.0, 0.0)), None);
+    }
+
+    #[test]
+    fn leaves_overlapping_finds_all_intersections() {
+        let bounds = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        let samples = uniform_samples(400);
+        let tree = KdTree::build(bounds, &samples, 10, SplitAxis::Alternate);
+        let query = Rect::from_coords(2.0, 2.0, 7.0, 7.0);
+        let found = tree.leaves_overlapping(&query);
+        for (i, leaf) in tree.leaves().iter().enumerate() {
+            assert_eq!(
+                found.contains(&i),
+                leaf.rect.intersects(&query),
+                "leaf {i} mismatch"
+            );
+        }
+        // whole-space query must return every leaf
+        assert_eq!(tree.leaves_overlapping(&bounds).len(), tree.leaves().len());
+    }
+
+    #[test]
+    fn skewed_weights_shift_the_split() {
+        let bounds = Rect::from_coords(0.0, 0.0, 10.0, 10.0);
+        // heavy cluster on the left, light cluster on the right
+        let mut samples = Vec::new();
+        for i in 0..90 {
+            samples.push(WeightedPoint::new(Point::new(1.0 + (i % 10) as f64 * 0.1, 5.0), 1.0));
+        }
+        for i in 0..10 {
+            samples.push(WeightedPoint::new(Point::new(9.0 + (i % 10) as f64 * 0.05, 5.0), 1.0));
+        }
+        let tree = KdTree::build(bounds, &samples, 2, SplitAxis::Alternate);
+        assert_eq!(tree.leaves().len(), 2);
+        // the left leaf should be much narrower than the right one
+        let left = &tree.leaves()[0];
+        let right = &tree.leaves()[1];
+        assert!(left.rect.width() < right.rect.width());
+    }
+
+    #[test]
+    fn empty_samples_yield_single_leaf() {
+        let bounds = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let tree = KdTree::build(bounds, &[], 8, SplitAxis::Alternate);
+        assert_eq!(tree.leaves().len(), 1);
+        assert_eq!(tree.leaves()[0].rect, bounds);
+        assert_eq!(tree.leaves()[0].count, 0);
+    }
+
+    #[test]
+    fn identical_points_cannot_be_split() {
+        let bounds = Rect::from_coords(0.0, 0.0, 1.0, 1.0);
+        let samples = vec![WeightedPoint::new(Point::new(0.5, 0.5), 1.0); 50];
+        let tree = KdTree::build(bounds, &samples, 4, SplitAxis::Alternate);
+        assert_eq!(tree.leaves().len(), 1);
+        assert_eq!(tree.leaves()[0].count, 50);
+    }
+}

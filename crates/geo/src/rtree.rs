@@ -1,0 +1,348 @@
+//! R-tree with Sort-Tile-Recursive (STR) bulk loading.
+//!
+//! The R-tree space-partitioning baseline (Figure 6(c)(d), following
+//! SpatialHadoop) builds an R-tree over a sample of the workload and assigns
+//! its leaf nodes to workers. The tree also supports rectangle-overlap
+//! queries, which the integration tests use as a matching oracle.
+
+use crate::point::Point;
+use crate::rect::Rect;
+
+/// An entry stored in the R-tree: a rectangle plus an opaque payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RTreeEntry<T> {
+    /// Bounding rectangle of the entry.
+    pub rect: Rect,
+    /// User payload.
+    pub data: T,
+}
+
+impl<T> RTreeEntry<T> {
+    /// Creates a new entry.
+    pub fn new(rect: Rect, data: T) -> Self {
+        Self { rect, data }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node<T> {
+    Leaf { rect: Rect, entries: Vec<RTreeEntry<T>> },
+    Internal { rect: Rect, children: Vec<Node<T>> },
+}
+
+impl<T> Node<T> {
+    fn rect(&self) -> Rect {
+        match self {
+            Node::Leaf { rect, .. } | Node::Internal { rect, .. } => *rect,
+        }
+    }
+}
+
+/// Summary of one R-tree leaf node: its bounding rectangle and how many
+/// entries it holds. Space partitioners consume these summaries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeafSummary {
+    /// Minimum bounding rectangle of the leaf.
+    pub rect: Rect,
+    /// Number of entries stored in the leaf.
+    pub len: usize,
+}
+
+/// A static R-tree built with STR bulk loading.
+#[derive(Debug, Clone)]
+pub struct RTree<T> {
+    root: Option<Node<T>>,
+    node_capacity: usize,
+    len: usize,
+}
+
+impl<T: Clone> RTree<T> {
+    /// Default maximum number of entries per node.
+    pub const DEFAULT_NODE_CAPACITY: usize = 16;
+
+    /// Bulk-loads an R-tree from entries using the Sort-Tile-Recursive
+    /// algorithm with the given node capacity.
+    ///
+    /// # Panics
+    /// Panics if `node_capacity < 2`.
+    pub fn bulk_load_with_capacity(mut entries: Vec<RTreeEntry<T>>, node_capacity: usize) -> Self {
+        assert!(node_capacity >= 2, "RTree node capacity must be at least 2");
+        let len = entries.len();
+        if entries.is_empty() {
+            return Self {
+                root: None,
+                node_capacity,
+                len: 0,
+            };
+        }
+        let leaves = str_pack_leaves(&mut entries, node_capacity);
+        let root = build_upwards(leaves, node_capacity);
+        Self {
+            root: Some(root),
+            node_capacity,
+            len,
+        }
+    }
+
+    /// Bulk-loads with [`RTree::DEFAULT_NODE_CAPACITY`].
+    pub fn bulk_load(entries: Vec<RTreeEntry<T>>) -> Self {
+        Self::bulk_load_with_capacity(entries, Self::DEFAULT_NODE_CAPACITY)
+    }
+
+    /// Number of entries stored in the tree.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns true if the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Maximum number of entries per node.
+    pub fn node_capacity(&self) -> usize {
+        self.node_capacity
+    }
+
+    /// Minimum bounding rectangle of the whole tree ([`Rect::empty`] if the
+    /// tree is empty).
+    pub fn bounds(&self) -> Rect {
+        self.root.as_ref().map_or_else(Rect::empty, Node::rect)
+    }
+
+    /// All entries whose rectangle intersects `query`.
+    pub fn query_rect(&self, query: &Rect) -> Vec<&RTreeEntry<T>> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            search(root, query, &mut out);
+        }
+        out
+    }
+
+    /// All entries whose rectangle contains the point.
+    pub fn query_point(&self, point: &Point) -> Vec<&RTreeEntry<T>> {
+        self.query_rect(&Rect::from_point(*point))
+    }
+
+    /// Summaries of all leaf nodes (rectangle + entry count), in packing
+    /// order. This is what the R-tree space partitioner distributes across
+    /// workers.
+    pub fn leaf_summaries(&self) -> Vec<LeafSummary> {
+        let mut out = Vec::new();
+        if let Some(root) = &self.root {
+            collect_leaves(root, &mut out);
+        }
+        out
+    }
+}
+
+/// Packs entries into leaf nodes using Sort-Tile-Recursive.
+fn str_pack_leaves<T: Clone>(
+    entries: &mut [RTreeEntry<T>],
+    node_capacity: usize,
+) -> Vec<Node<T>> {
+    let n = entries.len();
+    let leaf_count = n.div_ceil(node_capacity);
+    let num_slices = (leaf_count as f64).sqrt().ceil() as usize;
+    let slice_size = n.div_ceil(num_slices);
+
+    entries.sort_by(|a, b| {
+        a.rect
+            .center()
+            .x
+            .partial_cmp(&b.rect.center().x)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut leaves = Vec::with_capacity(leaf_count);
+    for slice in entries.chunks_mut(slice_size.max(1)) {
+        slice.sort_by(|a, b| {
+            a.rect
+                .center()
+                .y
+                .partial_cmp(&b.rect.center().y)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for chunk in slice.chunks(node_capacity) {
+            let rect = chunk
+                .iter()
+                .fold(Rect::empty(), |acc, e| acc.union(&e.rect));
+            leaves.push(Node::Leaf {
+                rect,
+                entries: chunk.to_vec(),
+            });
+        }
+    }
+    leaves
+}
+
+/// Packs a level of nodes into parent nodes until a single root remains.
+fn build_upwards<T>(mut level: Vec<Node<T>>, node_capacity: usize) -> Node<T> {
+    while level.len() > 1 {
+        level.sort_by(|a, b| {
+            a.rect()
+                .center()
+                .x
+                .partial_cmp(&b.rect().center().x)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut next = Vec::with_capacity(level.len().div_ceil(node_capacity));
+        let mut iter = level.into_iter().peekable();
+        while iter.peek().is_some() {
+            let children: Vec<Node<T>> = iter.by_ref().take(node_capacity).collect();
+            let rect = children
+                .iter()
+                .fold(Rect::empty(), |acc, c| acc.union(&c.rect()));
+            next.push(Node::Internal { rect, children });
+        }
+        level = next;
+    }
+    level
+        .into_iter()
+        .next()
+        .expect("build_upwards requires at least one node")
+}
+
+fn search<'a, T>(node: &'a Node<T>, query: &Rect, out: &mut Vec<&'a RTreeEntry<T>>) {
+    match node {
+        Node::Leaf { rect, entries } => {
+            if !rect.intersects(query) {
+                return;
+            }
+            for e in entries {
+                if e.rect.intersects(query) {
+                    out.push(e);
+                }
+            }
+        }
+        Node::Internal { rect, children } => {
+            if !rect.intersects(query) {
+                return;
+            }
+            for c in children {
+                search(c, query, out);
+            }
+        }
+    }
+}
+
+fn collect_leaves<T>(node: &Node<T>, out: &mut Vec<LeafSummary>) {
+    match node {
+        Node::Leaf { rect, entries } => out.push(LeafSummary {
+            rect: *rect,
+            len: entries.len(),
+        }),
+        Node::Internal { children, .. } => {
+            for c in children {
+                collect_leaves(c, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_entries(n: usize) -> Vec<RTreeEntry<usize>> {
+        let side = (n as f64).sqrt().ceil() as usize;
+        (0..n)
+            .map(|i| {
+                let x = (i % side) as f64;
+                let y = (i / side) as f64;
+                RTreeEntry::new(Rect::from_coords(x, y, x + 0.5, y + 0.5), i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let tree: RTree<usize> = RTree::bulk_load(Vec::new());
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 0);
+        assert!(tree.bounds().is_empty());
+        assert!(tree.query_rect(&Rect::from_coords(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(tree.leaf_summaries().is_empty());
+    }
+
+    #[test]
+    fn bulk_load_preserves_all_entries() {
+        let entries = grid_entries(137);
+        let tree = RTree::bulk_load(entries.clone());
+        assert_eq!(tree.len(), 137);
+        let everything = tree.query_rect(&tree.bounds());
+        assert_eq!(everything.len(), 137);
+        let mut ids: Vec<usize> = everything.iter().map(|e| e.data).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..137).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn query_matches_brute_force() {
+        let entries = grid_entries(200);
+        let tree = RTree::bulk_load(entries.clone());
+        let queries = [
+            Rect::from_coords(0.0, 0.0, 3.0, 3.0),
+            Rect::from_coords(5.2, 5.2, 9.9, 6.1),
+            Rect::from_coords(100.0, 100.0, 101.0, 101.0),
+            Rect::from_coords(-1.0, -1.0, 0.2, 0.2),
+        ];
+        for q in &queries {
+            let mut expected: Vec<usize> = entries
+                .iter()
+                .filter(|e| e.rect.intersects(q))
+                .map(|e| e.data)
+                .collect();
+            expected.sort_unstable();
+            let mut got: Vec<usize> = tree.query_rect(q).iter().map(|e| e.data).collect();
+            got.sort_unstable();
+            assert_eq!(got, expected, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn query_point_is_rect_containment() {
+        let entries = vec![
+            RTreeEntry::new(Rect::from_coords(0.0, 0.0, 2.0, 2.0), 'a'),
+            RTreeEntry::new(Rect::from_coords(1.0, 1.0, 3.0, 3.0), 'b'),
+            RTreeEntry::new(Rect::from_coords(10.0, 10.0, 11.0, 11.0), 'c'),
+        ];
+        let tree = RTree::bulk_load(entries);
+        let mut got: Vec<char> = tree
+            .query_point(&Point::new(1.5, 1.5))
+            .iter()
+            .map(|e| e.data)
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec!['a', 'b']);
+    }
+
+    #[test]
+    fn leaf_nodes_respect_capacity_and_cover_entries() {
+        let entries = grid_entries(100);
+        let tree = RTree::bulk_load_with_capacity(entries.clone(), 8);
+        let leaves = tree.leaf_summaries();
+        let total: usize = leaves.iter().map(|l| l.len).sum();
+        assert_eq!(total, 100);
+        for leaf in &leaves {
+            assert!(leaf.len <= 8);
+            assert!(leaf.len >= 1);
+        }
+        assert!(leaves.len() >= 100usize.div_ceil(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_capacity_panics() {
+        let _ = RTree::bulk_load_with_capacity(grid_entries(4), 1);
+    }
+
+    #[test]
+    fn bounds_cover_all_entries() {
+        let entries = grid_entries(50);
+        let tree = RTree::bulk_load(entries.clone());
+        for e in &entries {
+            assert!(tree.bounds().contains_rect(&e.rect));
+        }
+    }
+}

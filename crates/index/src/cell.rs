@@ -1,0 +1,311 @@
+//! Per-cell inverted index of the GI² structure.
+//!
+//! GI² divides the space into uniform grid cells and, inside every cell,
+//! organizes the STS queries overlapping the cell in an inverted index keyed
+//! by the queries' least frequent keyword(s) (Section IV-D).
+
+use ps2stream_model::QueryId;
+use ps2stream_text::TermId;
+use std::collections::HashMap;
+
+/// Inverted index of one grid cell: for each posting term, the list of query
+/// ids posted under that term.
+#[derive(Debug, Default, Clone)]
+pub struct CellIndex {
+    postings: HashMap<TermId, Vec<QueryId>>,
+    /// Number of distinct queries currently posted in this cell
+    /// (a query posted under several terms is counted once).
+    num_queries: usize,
+    /// Total approximate size in bytes of the queries posted in this cell
+    /// (the `S_g` quantity of the Minimum Cost Migration problem).
+    query_bytes: usize,
+    /// Number of objects that fell into this cell since the last counter
+    /// reset (the `n_o` quantity of Definition 3).
+    objects_seen: u64,
+    /// For each posting term, how many recent objects of this cell contained
+    /// the term (feeds the Phase-I text-split decision of the local load
+    /// adjustment).
+    object_hits: HashMap<TermId, u64>,
+}
+
+/// Per-term statistics of one cell, consumed by the dynamic load adjustment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellTermStat {
+    /// The posting term.
+    pub term: TermId,
+    /// Number of queries posted under the term in this cell.
+    pub queries: u64,
+    /// Number of recent objects in this cell containing the term.
+    pub object_hits: u64,
+}
+
+impl CellIndex {
+    /// Creates an empty cell index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Posts a query under the given terms. `query_bytes` is the approximate
+    /// in-memory size of the query, used for migration cost accounting.
+    pub fn post(&mut self, query: QueryId, terms: &[TermId], query_bytes: usize) {
+        if terms.is_empty() {
+            return;
+        }
+        for &t in terms {
+            self.postings.entry(t).or_default().push(query);
+        }
+        self.num_queries += 1;
+        self.query_bytes += query_bytes;
+    }
+
+    /// The posting list for a term, if any.
+    #[inline]
+    pub fn postings(&self, term: TermId) -> Option<&[QueryId]> {
+        self.postings.get(&term).map(Vec::as_slice)
+    }
+
+    /// Removes tombstoned entries from the posting list of `term` using the
+    /// supplied predicate (`true` = remove). Returns the removed query ids.
+    /// Used by the lazy-deletion sweep during object matching.
+    pub fn purge_postings<F: Fn(QueryId) -> bool>(
+        &mut self,
+        term: TermId,
+        is_deleted: F,
+    ) -> Vec<QueryId> {
+        let Some(list) = self.postings.get_mut(&term) else {
+            return Vec::new();
+        };
+        let mut removed = Vec::new();
+        list.retain(|q| {
+            if is_deleted(*q) {
+                removed.push(*q);
+                false
+            } else {
+                true
+            }
+        });
+        if list.is_empty() {
+            self.postings.remove(&term);
+        }
+        removed
+    }
+
+    /// Account for the physical removal of a query (after all its postings
+    /// have been purged or the cell was migrated away).
+    pub fn note_removed(&mut self, query_bytes: usize) {
+        self.num_queries = self.num_queries.saturating_sub(1);
+        self.query_bytes = self.query_bytes.saturating_sub(query_bytes);
+    }
+
+    /// Records that an object fell into this cell.
+    #[inline]
+    pub fn record_object(&mut self) {
+        self.objects_seen += 1;
+    }
+
+    /// Records that a recent object of this cell contained `term` (only terms
+    /// with a posting list are worth tracking).
+    #[inline]
+    pub fn record_object_term(&mut self, term: TermId) {
+        if self.postings.contains_key(&term) {
+            *self.object_hits.entry(term).or_insert(0) += 1;
+        }
+    }
+
+    /// Per-term statistics of the cell (queries posted and recent object hits
+    /// per posting term).
+    pub fn term_stats(&self) -> Vec<CellTermStat> {
+        self.postings
+            .iter()
+            .map(|(t, qs)| CellTermStat {
+                term: *t,
+                queries: qs.len() as u64,
+                object_hits: self.object_hits.get(t).copied().unwrap_or(0),
+            })
+            .collect()
+    }
+
+    /// Number of objects recorded since the last reset (`n_o`).
+    pub fn objects_seen(&self) -> u64 {
+        self.objects_seen
+    }
+
+    /// Resets the object counters (called at the start of a load-measurement
+    /// period).
+    pub fn reset_object_counter(&mut self) {
+        self.objects_seen = 0;
+        self.object_hits.clear();
+    }
+
+    /// Number of distinct queries posted in this cell (`n_q`).
+    pub fn num_queries(&self) -> usize {
+        self.num_queries
+    }
+
+    /// Total approximate size in bytes of the queries in this cell (`S_g`).
+    pub fn query_bytes(&self) -> usize {
+        self.query_bytes
+    }
+
+    /// All distinct query ids posted in this cell (deduplicated).
+    pub fn all_queries(&self) -> Vec<QueryId> {
+        let mut out: Vec<QueryId> = self.postings.values().flatten().copied().collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Returns true if no query is posted in this cell.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// Clears the cell, returning the distinct query ids it held.
+    pub fn drain(&mut self) -> Vec<QueryId> {
+        let out = self.all_queries();
+        self.postings.clear();
+        self.object_hits.clear();
+        self.num_queries = 0;
+        self.query_bytes = 0;
+        out
+    }
+
+    /// Approximate memory footprint of the cell's posting lists in bytes.
+    pub fn memory_usage(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .postings
+                .iter()
+                .map(|(_, v)| {
+                    std::mem::size_of::<TermId>()
+                        + std::mem::size_of::<Vec<QueryId>>()
+                        + v.len() * std::mem::size_of::<QueryId>()
+                        + 16
+                })
+                .sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(i: u64) -> QueryId {
+        QueryId(i)
+    }
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    #[test]
+    fn post_and_lookup() {
+        let mut c = CellIndex::new();
+        c.post(q(1), &[t(5)], 100);
+        c.post(q(2), &[t(5), t(7)], 200);
+        assert_eq!(c.postings(t(5)).unwrap(), &[q(1), q(2)]);
+        assert_eq!(c.postings(t(7)).unwrap(), &[q(2)]);
+        assert!(c.postings(t(9)).is_none());
+        assert_eq!(c.num_queries(), 2);
+        assert_eq!(c.query_bytes(), 300);
+    }
+
+    #[test]
+    fn post_with_no_terms_is_a_noop() {
+        let mut c = CellIndex::new();
+        c.post(q(1), &[], 100);
+        assert!(c.is_empty());
+        assert_eq!(c.num_queries(), 0);
+    }
+
+    #[test]
+    fn purge_removes_deleted_queries() {
+        let mut c = CellIndex::new();
+        c.post(q(1), &[t(1)], 10);
+        c.post(q(2), &[t(1)], 10);
+        c.post(q(3), &[t(1)], 10);
+        let removed = c.purge_postings(t(1), |id| id == q(2));
+        assert_eq!(removed, vec![q(2)]);
+        assert_eq!(c.postings(t(1)).unwrap(), &[q(1), q(3)]);
+        // purging everything drops the term entry
+        let removed = c.purge_postings(t(1), |_| true);
+        assert_eq!(removed, vec![q(1), q(3)]);
+        assert!(c.postings(t(1)).is_none());
+    }
+
+    #[test]
+    fn object_counter() {
+        let mut c = CellIndex::new();
+        c.record_object();
+        c.record_object();
+        assert_eq!(c.objects_seen(), 2);
+        c.reset_object_counter();
+        assert_eq!(c.objects_seen(), 0);
+    }
+
+    #[test]
+    fn all_queries_dedups_multi_term_postings() {
+        let mut c = CellIndex::new();
+        c.post(q(1), &[t(1), t(2)], 10);
+        c.post(q(2), &[t(2)], 10);
+        assert_eq!(c.all_queries(), vec![q(1), q(2)]);
+    }
+
+    #[test]
+    fn drain_empties_the_cell() {
+        let mut c = CellIndex::new();
+        c.post(q(1), &[t(1)], 10);
+        c.post(q(2), &[t(3)], 20);
+        c.record_object();
+        let drained = c.drain();
+        assert_eq!(drained, vec![q(1), q(2)]);
+        assert!(c.is_empty());
+        assert_eq!(c.num_queries(), 0);
+        assert_eq!(c.query_bytes(), 0);
+    }
+
+    #[test]
+    fn note_removed_adjusts_counters() {
+        let mut c = CellIndex::new();
+        c.post(q(1), &[t(1)], 10);
+        c.post(q(2), &[t(1)], 30);
+        c.note_removed(10);
+        assert_eq!(c.num_queries(), 1);
+        assert_eq!(c.query_bytes(), 30);
+        // saturates at zero
+        c.note_removed(1000);
+        c.note_removed(1000);
+        assert_eq!(c.num_queries(), 0);
+        assert_eq!(c.query_bytes(), 0);
+    }
+
+    #[test]
+    fn term_stats_track_queries_and_object_hits() {
+        let mut c = CellIndex::new();
+        c.post(q(1), &[t(1)], 10);
+        c.post(q(2), &[t(1)], 10);
+        c.post(q(3), &[t(2)], 10);
+        c.record_object_term(t(1));
+        c.record_object_term(t(1));
+        c.record_object_term(t(9)); // no posting list -> ignored
+        let mut stats = c.term_stats();
+        stats.sort_by_key(|s| s.term);
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].term, t(1));
+        assert_eq!(stats[0].queries, 2);
+        assert_eq!(stats[0].object_hits, 2);
+        assert_eq!(stats[1].queries, 1);
+        assert_eq!(stats[1].object_hits, 0);
+        c.reset_object_counter();
+        assert!(c.term_stats().iter().all(|s| s.object_hits == 0));
+    }
+
+    #[test]
+    fn memory_usage_grows_with_postings() {
+        let mut c = CellIndex::new();
+        let base = c.memory_usage();
+        for i in 0..50 {
+            c.post(q(i), &[t((i % 5) as u32)], 10);
+        }
+        assert!(c.memory_usage() > base);
+    }
+}

@@ -1,0 +1,559 @@
+//! GI² — the Grid-Inverted-Index maintained by every worker.
+//!
+//! Following Section IV-D of the paper, every worker organizes its STS
+//! queries in a uniform grid; inside each cell overlapped by a query's
+//! region, the query is appended to the inverted list of its least frequent
+//! keyword (one per conjunction of the DNF, which generalizes the paper's
+//! AND-only / OR rule). Deletions are lazy: deleted query ids are recorded in
+//! a tombstone table and physically removed from posting lists while they are
+//! traversed during object matching.
+
+use crate::cell::{CellIndex, CellTermStat};
+use ps2stream_geo::{CellId, Rect, UniformGrid};
+use ps2stream_model::{MatchResult, QueryId, SpatioTextualObject, StsQuery};
+use ps2stream_text::{TermId, TermStats};
+use std::collections::{HashMap, HashSet};
+
+/// Configuration of a GI² index.
+#[derive(Debug, Clone)]
+pub struct Gi2Config {
+    /// Bounding rectangle of the indexed space.
+    pub bounds: Rect,
+    /// The grid has `2^granularity_exp × 2^granularity_exp` cells.
+    /// The paper's evaluation uses 6 (a 64×64 grid).
+    pub granularity_exp: u32,
+}
+
+impl Gi2Config {
+    /// Creates a configuration with the paper's default granularity (2⁶×2⁶).
+    pub fn new(bounds: Rect) -> Self {
+        Self {
+            bounds,
+            granularity_exp: 6,
+        }
+    }
+
+    /// Overrides the grid granularity exponent.
+    pub fn with_granularity_exp(mut self, exp: u32) -> Self {
+        self.granularity_exp = exp;
+        self
+    }
+}
+
+#[derive(Debug, Clone)]
+struct StoredQuery {
+    query: StsQuery,
+    bytes: usize,
+    /// Cells of this index in which the query is posted.
+    cells: Vec<CellId>,
+    /// Terms the query is posted under (least frequent keyword of each
+    /// conjunction at insertion time).
+    posting_terms: Vec<TermId>,
+}
+
+/// Per-cell load statistics exposed for dynamic load adjustment
+/// (Definition 3: `L_g = n_o * n_q`; `S_g` = total query bytes).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellLoadStat {
+    /// The cell.
+    pub cell: CellId,
+    /// Number of objects that fell into the cell during the current period.
+    pub objects: u64,
+    /// Number of queries currently stored in the cell.
+    pub queries: usize,
+    /// Total approximate size of the stored queries in bytes.
+    pub bytes: usize,
+}
+
+impl CellLoadStat {
+    /// The load of the cell per Definition 3: `n_o * n_q`.
+    pub fn load(&self) -> f64 {
+        self.objects as f64 * self.queries as f64
+    }
+}
+
+/// The Grid-Inverted-Index of one worker.
+#[derive(Debug, Clone)]
+pub struct Gi2Index {
+    grid: UniformGrid,
+    cells: Vec<CellIndex>,
+    queries: HashMap<QueryId, StoredQuery>,
+    /// Lazy-deletion table: ids whose postings have not all been purged yet,
+    /// mapped to the number of postings still to purge.
+    tombstones: HashMap<QueryId, usize>,
+    /// Term statistics used to pick the least frequent keyword at insertion.
+    stats: TermStats,
+    /// Counters for the matching work performed (used by the load model).
+    matches_checked: u64,
+    objects_processed: u64,
+}
+
+impl Gi2Index {
+    /// Creates an empty index.
+    pub fn new(config: Gi2Config) -> Self {
+        let grid = UniformGrid::with_power_of_two(config.bounds, config.granularity_exp);
+        let cells = vec![CellIndex::new(); grid.num_cells()];
+        Self {
+            grid,
+            cells,
+            queries: HashMap::new(),
+            tombstones: HashMap::new(),
+            stats: TermStats::new(),
+            matches_checked: 0,
+            objects_processed: 0,
+        }
+    }
+
+    /// Seeds the term statistics used for least-frequent-keyword selection
+    /// (e.g. from a corpus sample distributed by the dispatchers).
+    pub fn set_term_stats(&mut self, stats: TermStats) {
+        self.stats = stats;
+    }
+
+    /// The grid geometry of the index.
+    pub fn grid(&self) -> &UniformGrid {
+        &self.grid
+    }
+
+    /// Number of live (non-deleted) queries stored in the index.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Returns true if a query id is currently stored (and not deleted).
+    pub fn contains_query(&self, id: QueryId) -> bool {
+        self.queries.contains_key(&id)
+    }
+
+    /// Total number of candidate query evaluations performed so far.
+    pub fn matches_checked(&self) -> u64 {
+        self.matches_checked
+    }
+
+    /// Total number of objects processed so far.
+    pub fn objects_processed(&self) -> u64 {
+        self.objects_processed
+    }
+
+    /// Inserts an STS query (Section IV-D posting rule). Re-inserting an
+    /// existing id replaces the previous version.
+    pub fn insert(&mut self, query: StsQuery) {
+        if self.queries.contains_key(&query.id) {
+            self.delete_by_id(query.id);
+        }
+        // A previously tombstoned id that is re-inserted must stop being
+        // treated as deleted.
+        self.tombstones.remove(&query.id);
+        let posting_terms = query
+            .keywords
+            .representative_terms(|t| self.stats.frequency(t));
+        let cells = self.grid.cells_overlapping(&query.region);
+        let bytes = query.memory_usage();
+        for &cell in &cells {
+            let idx = self.grid.cell_index(cell);
+            self.cells[idx].post(query.id, &posting_terms, bytes);
+        }
+        self.queries.insert(
+            query.id,
+            StoredQuery {
+                query,
+                bytes,
+                cells,
+                posting_terms,
+            },
+        );
+    }
+
+    /// Deletes a query given the full query description (the deletion request
+    /// carries the complete query, Section IV-C). Uses lazy deletion: posting
+    /// entries are purged during subsequent matching.
+    pub fn delete(&mut self, query: &StsQuery) -> bool {
+        self.delete_by_id(query.id)
+    }
+
+    /// Deletes a query by id. Returns false if the id was not stored.
+    pub fn delete_by_id(&mut self, id: QueryId) -> bool {
+        let Some(stored) = self.queries.remove(&id) else {
+            return false;
+        };
+        let mut pending = 0usize;
+        for &cell in &stored.cells {
+            let idx = self.grid.cell_index(cell);
+            self.cells[idx].note_removed(stored.bytes);
+            pending += stored.posting_terms.len();
+        }
+        if pending > 0 {
+            self.tombstones.insert(id, pending);
+        }
+        true
+    }
+
+    /// Matches a spatio-textual object against the indexed queries, returning
+    /// one [`MatchResult`] per satisfied query (deduplicated). Posting lists
+    /// traversed along the way are purged of tombstoned entries.
+    pub fn match_object(&mut self, object: &SpatioTextualObject) -> Vec<MatchResult> {
+        self.objects_processed += 1;
+        self.stats.observe(&object.terms);
+        let Some(cell) = self.grid.cell_of(&object.location) else {
+            return Vec::new();
+        };
+        let idx = self.grid.cell_index(cell);
+        let cell_index = &mut self.cells[idx];
+        cell_index.record_object();
+
+        let mut results = Vec::new();
+        let mut seen: HashSet<QueryId> = HashSet::new();
+        let mut purged: Vec<QueryId> = Vec::new();
+        for &term in &object.terms {
+            // Lazy deletion: drop tombstoned entries from the list we are
+            // about to traverse.
+            let removed = cell_index.purge_postings(term, |q| self.tombstones.contains_key(&q));
+            purged.extend(removed);
+            cell_index.record_object_term(term);
+            let Some(list) = cell_index.postings(term) else {
+                continue;
+            };
+            for &qid in list {
+                if !seen.insert(qid) {
+                    continue;
+                }
+                let Some(stored) = self.queries.get(&qid) else {
+                    continue;
+                };
+                self.matches_checked += 1;
+                if stored.query.matches(object) {
+                    results.push(MatchResult::new(
+                        qid,
+                        stored.query.subscriber,
+                        object.id,
+                    ));
+                }
+            }
+        }
+        for qid in purged {
+            if let Some(remaining) = self.tombstones.get_mut(&qid) {
+                *remaining = remaining.saturating_sub(1);
+                if *remaining == 0 {
+                    self.tombstones.remove(&qid);
+                }
+            }
+        }
+        results
+    }
+
+    /// Per-cell load statistics for every non-empty cell, used by the dynamic
+    /// load adjustment algorithms.
+    pub fn cell_loads(&self) -> Vec<CellLoadStat> {
+        self.grid
+            .all_cells()
+            .filter_map(|cell| {
+                let c = &self.cells[self.grid.cell_index(cell)];
+                if c.num_queries() == 0 && c.objects_seen() == 0 {
+                    return None;
+                }
+                Some(CellLoadStat {
+                    cell,
+                    objects: c.objects_seen(),
+                    queries: c.num_queries(),
+                    bytes: c.query_bytes(),
+                })
+            })
+            .collect()
+    }
+
+    /// Per-term statistics of one cell (queries posted and recent object
+    /// hits), consumed by the Phase-I text-split decision of the local load
+    /// adjustment.
+    pub fn cell_term_stats(&self, cell: CellId) -> Vec<CellTermStat> {
+        self.cells[self.grid.cell_index(cell)].term_stats()
+    }
+
+    /// Resets the per-cell object counters (start of a new load period).
+    pub fn reset_load_counters(&mut self) {
+        for c in &mut self.cells {
+            c.reset_object_counter();
+        }
+        self.matches_checked = 0;
+        self.objects_processed = 0;
+    }
+
+    /// Extracts every live query posted in `cell` that satisfies `filter`,
+    /// removing those postings from the cell. Queries that are still posted
+    /// in other cells of this index remain stored; queries whose last cell
+    /// was extracted are removed entirely. Returns clones of the extracted
+    /// queries — this is the unit of migration of the dynamic load
+    /// adjustment (queries are migrated cell by cell).
+    pub fn extract_cell_where<F: Fn(&StsQuery) -> bool>(
+        &mut self,
+        cell: CellId,
+        filter: F,
+    ) -> Vec<StsQuery> {
+        let idx = self.grid.cell_index(cell);
+        let ids = self.cells[idx].all_queries();
+        let mut extracted = Vec::new();
+        for qid in ids {
+            if self.tombstones.contains_key(&qid) {
+                continue;
+            }
+            let Some(stored) = self.queries.get(&qid) else {
+                continue;
+            };
+            if !filter(&stored.query) {
+                continue;
+            }
+            extracted.push(stored.query.clone());
+            // Remove this cell's postings for the query.
+            let terms = stored.posting_terms.clone();
+            let bytes = stored.bytes;
+            for t in terms {
+                self.cells[idx].purge_postings(t, |q| q == qid);
+            }
+            self.cells[idx].note_removed(bytes);
+            let stored = self
+                .queries
+                .get_mut(&qid)
+                .expect("query present: checked above");
+            stored.cells.retain(|c| *c != cell);
+            if stored.cells.is_empty() {
+                self.queries.remove(&qid);
+            }
+        }
+        extracted
+    }
+
+    /// Extracts every live query posted in `cell` (see
+    /// [`Gi2Index::extract_cell_where`]).
+    pub fn extract_cell(&mut self, cell: CellId) -> Vec<StsQuery> {
+        self.extract_cell_where(cell, |_| true)
+    }
+
+    /// Approximate memory footprint of the index in bytes (posting lists,
+    /// stored queries, tombstones and term statistics).
+    pub fn memory_usage(&self) -> usize {
+        let cells: usize = self.cells.iter().map(CellIndex::memory_usage).sum();
+        let queries: usize = self
+            .queries
+            .values()
+            .map(|s| {
+                s.bytes
+                    + s.cells.len() * std::mem::size_of::<CellId>()
+                    + s.posting_terms.len() * std::mem::size_of::<TermId>()
+                    + 32
+            })
+            .sum();
+        cells
+            + queries
+            + self.tombstones.len() * 24
+            + self.stats.memory_usage()
+            + std::mem::size_of::<Self>()
+    }
+
+    /// Iterates over all live queries (used by tests and the global
+    /// repartitioning handover).
+    pub fn queries(&self) -> impl Iterator<Item = &StsQuery> + '_ {
+        self.queries.values().map(|s| &s.query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps2stream_geo::Point;
+    use ps2stream_model::{ObjectId, SubscriberId};
+    use ps2stream_text::BooleanExpr;
+
+    fn config() -> Gi2Config {
+        Gi2Config::new(Rect::from_coords(0.0, 0.0, 64.0, 64.0)).with_granularity_exp(4)
+    }
+
+    fn query(id: u64, terms: &[u32], region: Rect) -> StsQuery {
+        StsQuery::new(
+            QueryId(id),
+            SubscriberId(id),
+            BooleanExpr::and_of(terms.iter().map(|t| TermId(*t))),
+            region,
+        )
+    }
+
+    fn or_query(id: u64, terms: &[u32], region: Rect) -> StsQuery {
+        StsQuery::new(
+            QueryId(id),
+            SubscriberId(id),
+            BooleanExpr::or_of(terms.iter().map(|t| TermId(*t))),
+            region,
+        )
+    }
+
+    fn object(id: u64, terms: &[u32], x: f64, y: f64) -> SpatioTextualObject {
+        SpatioTextualObject::new(
+            ObjectId(id),
+            terms.iter().map(|t| TermId(*t)).collect(),
+            Point::new(x, y),
+        )
+    }
+
+    #[test]
+    fn insert_and_match_and_query() {
+        let mut idx = Gi2Index::new(config());
+        idx.insert(query(1, &[1, 2], Rect::from_coords(0.0, 0.0, 10.0, 10.0)));
+        idx.insert(query(2, &[3], Rect::from_coords(0.0, 0.0, 10.0, 10.0)));
+        assert_eq!(idx.num_queries(), 2);
+
+        let results = idx.match_object(&object(100, &[1, 2, 9], 5.0, 5.0));
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].query_id, QueryId(1));
+        assert_eq!(results[0].object_id, ObjectId(100));
+
+        // missing one AND term -> no match
+        let results = idx.match_object(&object(101, &[1, 9], 5.0, 5.0));
+        assert!(results.is_empty());
+
+        // outside the region -> no match
+        let results = idx.match_object(&object(102, &[1, 2], 50.0, 50.0));
+        assert!(results.is_empty());
+    }
+
+    #[test]
+    fn or_query_matches_any_keyword() {
+        let mut idx = Gi2Index::new(config());
+        idx.insert(or_query(1, &[5, 6], Rect::from_coords(0.0, 0.0, 64.0, 64.0)));
+        assert_eq!(idx.match_object(&object(1, &[5], 1.0, 1.0)).len(), 1);
+        assert_eq!(idx.match_object(&object(2, &[6], 60.0, 60.0)).len(), 1);
+        assert_eq!(idx.match_object(&object(3, &[7], 1.0, 1.0)).len(), 0);
+        // both keywords present must still produce exactly one result
+        assert_eq!(idx.match_object(&object(4, &[5, 6], 1.0, 1.0)).len(), 1);
+    }
+
+    #[test]
+    fn query_spanning_many_cells_matches_everywhere_once() {
+        let mut idx = Gi2Index::new(config());
+        idx.insert(query(1, &[1], Rect::from_coords(0.0, 0.0, 64.0, 64.0)));
+        for (i, (x, y)) in [(1.0, 1.0), (30.0, 30.0), (63.0, 63.0)].iter().enumerate() {
+            let res = idx.match_object(&object(i as u64, &[1], *x, *y));
+            assert_eq!(res.len(), 1, "location ({x},{y})");
+        }
+    }
+
+    #[test]
+    fn delete_stops_matching() {
+        let mut idx = Gi2Index::new(config());
+        let q = query(1, &[1], Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        idx.insert(q.clone());
+        assert_eq!(idx.match_object(&object(1, &[1], 5.0, 5.0)).len(), 1);
+        assert!(idx.delete(&q));
+        assert_eq!(idx.num_queries(), 0);
+        assert_eq!(idx.match_object(&object(2, &[1], 5.0, 5.0)).len(), 0);
+        // deleting again is a no-op
+        assert!(!idx.delete(&q));
+    }
+
+    #[test]
+    fn lazy_deletion_purges_tombstones_during_matching() {
+        let mut idx = Gi2Index::new(config());
+        let q = query(1, &[1], Rect::from_coords(0.0, 0.0, 3.0, 3.0));
+        idx.insert(q.clone());
+        idx.delete(&q);
+        assert!(!idx.tombstones.is_empty());
+        // traversing the posting list purges the tombstone
+        let _ = idx.match_object(&object(1, &[1], 1.0, 1.0));
+        assert!(idx.tombstones.is_empty());
+    }
+
+    #[test]
+    fn reinsert_after_delete_matches_again() {
+        let mut idx = Gi2Index::new(config());
+        let q = query(1, &[1], Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        idx.insert(q.clone());
+        idx.delete(&q);
+        idx.insert(q);
+        assert_eq!(idx.match_object(&object(1, &[1], 5.0, 5.0)).len(), 1);
+    }
+
+    #[test]
+    fn reinsert_same_id_replaces_query() {
+        let mut idx = Gi2Index::new(config());
+        idx.insert(query(1, &[1], Rect::from_coords(0.0, 0.0, 10.0, 10.0)));
+        idx.insert(query(1, &[2], Rect::from_coords(0.0, 0.0, 10.0, 10.0)));
+        assert_eq!(idx.num_queries(), 1);
+        assert_eq!(idx.match_object(&object(1, &[1], 5.0, 5.0)).len(), 0);
+        assert_eq!(idx.match_object(&object(2, &[2], 5.0, 5.0)).len(), 1);
+    }
+
+    #[test]
+    fn cell_loads_reflect_objects_and_queries() {
+        let mut idx = Gi2Index::new(config());
+        idx.insert(query(1, &[1], Rect::from_coords(0.0, 0.0, 3.0, 3.0)));
+        let _ = idx.match_object(&object(1, &[1], 1.0, 1.0));
+        let _ = idx.match_object(&object(2, &[2], 1.0, 1.0));
+        let loads = idx.cell_loads();
+        assert_eq!(loads.len(), 1);
+        assert_eq!(loads[0].objects, 2);
+        assert_eq!(loads[0].queries, 1);
+        assert!(loads[0].bytes > 0);
+        assert!(loads[0].load() > 0.0);
+        idx.reset_load_counters();
+        assert_eq!(idx.cell_loads()[0].objects, 0);
+    }
+
+    #[test]
+    fn extract_cell_moves_queries_out() {
+        let mut idx = Gi2Index::new(config());
+        // a query confined to one cell and one spanning the whole space
+        idx.insert(query(1, &[1], Rect::from_coords(0.5, 0.5, 1.5, 1.5)));
+        idx.insert(query(2, &[1], Rect::from_coords(0.0, 0.0, 64.0, 64.0)));
+        let cell = idx.grid().cell_of(&Point::new(1.0, 1.0)).unwrap();
+        let extracted = idx.extract_cell(cell);
+        assert_eq!(extracted.len(), 2);
+        // the confined query is gone entirely, the spanning one remains
+        assert!(!idx.contains_query(QueryId(1)));
+        assert!(idx.contains_query(QueryId(2)));
+        // objects in that cell no longer match anything here
+        assert_eq!(idx.match_object(&object(1, &[1], 1.0, 1.0)).len(), 0);
+        // but the spanning query still matches elsewhere
+        assert_eq!(idx.match_object(&object(2, &[1], 40.0, 40.0)).len(), 1);
+    }
+
+    #[test]
+    fn extract_cell_where_filters() {
+        let mut idx = Gi2Index::new(config());
+        idx.insert(query(1, &[1], Rect::from_coords(0.5, 0.5, 1.5, 1.5)));
+        idx.insert(query(2, &[2], Rect::from_coords(0.5, 0.5, 1.5, 1.5)));
+        let cell = idx.grid().cell_of(&Point::new(1.0, 1.0)).unwrap();
+        let extracted = idx.extract_cell_where(cell, |q| q.keywords.contains_term(TermId(1)));
+        assert_eq!(extracted.len(), 1);
+        assert_eq!(extracted[0].id, QueryId(1));
+        assert!(idx.contains_query(QueryId(2)));
+    }
+
+    #[test]
+    fn migration_roundtrip_preserves_matching() {
+        let mut source = Gi2Index::new(config());
+        let mut target = Gi2Index::new(config());
+        source.insert(query(1, &[1], Rect::from_coords(0.5, 0.5, 1.5, 1.5)));
+        let cell = source.grid().cell_of(&Point::new(1.0, 1.0)).unwrap();
+        for q in source.extract_cell(cell) {
+            target.insert(q);
+        }
+        assert_eq!(source.match_object(&object(1, &[1], 1.0, 1.0)).len(), 0);
+        assert_eq!(target.match_object(&object(1, &[1], 1.0, 1.0)).len(), 1);
+    }
+
+    #[test]
+    fn memory_usage_grows_with_queries() {
+        let mut idx = Gi2Index::new(config());
+        let base = idx.memory_usage();
+        for i in 0..100 {
+            idx.insert(query(i, &[(i % 10) as u32], Rect::from_coords(0.0, 0.0, 20.0, 20.0)));
+        }
+        assert!(idx.memory_usage() > base);
+    }
+
+    #[test]
+    fn counters_track_work() {
+        let mut idx = Gi2Index::new(config());
+        idx.insert(query(1, &[1], Rect::from_coords(0.0, 0.0, 10.0, 10.0)));
+        let _ = idx.match_object(&object(1, &[1], 5.0, 5.0));
+        assert_eq!(idx.objects_processed(), 1);
+        assert_eq!(idx.matches_checked(), 1);
+    }
+}

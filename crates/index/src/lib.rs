@@ -1,0 +1,200 @@
+//! Worker-side indexing structures for PS2Stream.
+//!
+//! The central structure is [`Gi2Index`], the Grid-Inverted-Index each worker
+//! maintains over its registered STS queries (Section IV-D of the paper):
+//! a uniform grid whose cells each hold an inverted index keyed by the
+//! queries' least frequent keywords, with lazy deletion and per-cell load
+//! statistics that feed the dynamic load adjustment algorithms.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cell;
+pub mod gi2;
+
+pub use cell::{CellIndex, CellTermStat};
+pub use gi2::{CellLoadStat, Gi2Config, Gi2Index};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use ps2stream_geo::{Point, Rect};
+    use ps2stream_model::{ObjectId, QueryId, SpatioTextualObject, StsQuery, SubscriberId};
+    use ps2stream_text::{BooleanExpr, TermId};
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    struct GenQuery {
+        id: u64,
+        clauses: Vec<Vec<u32>>,
+        cx: f64,
+        cy: f64,
+        side: f64,
+    }
+
+    #[derive(Debug, Clone)]
+    struct GenObject {
+        id: u64,
+        terms: Vec<u32>,
+        x: f64,
+        y: f64,
+    }
+
+    fn arb_query(id: u64) -> impl Strategy<Value = GenQuery> {
+        (
+            proptest::collection::vec(proptest::collection::vec(0u32..25, 1..3), 1..3),
+            0.0f64..64.0,
+            0.0f64..64.0,
+            0.5f64..30.0,
+        )
+            .prop_map(move |(clauses, cx, cy, side)| GenQuery {
+                id,
+                clauses,
+                cx,
+                cy,
+                side,
+            })
+    }
+
+    fn arb_object(id: u64) -> impl Strategy<Value = GenObject> {
+        (
+            proptest::collection::vec(0u32..25, 0..8),
+            0.0f64..64.0,
+            0.0f64..64.0,
+        )
+            .prop_map(move |(terms, x, y)| GenObject { id, terms, x, y })
+    }
+
+    fn build_query(g: &GenQuery) -> StsQuery {
+        StsQuery::new(
+            QueryId(g.id),
+            SubscriberId(g.id),
+            BooleanExpr::from_dnf(
+                g.clauses
+                    .iter()
+                    .map(|c| c.iter().map(|t| TermId(*t)).collect::<Vec<_>>()),
+            ),
+            Rect::square(Point::new(g.cx, g.cy), g.side),
+        )
+    }
+
+    fn build_object(g: &GenObject) -> SpatioTextualObject {
+        SpatioTextualObject::new(
+            ObjectId(g.id),
+            g.terms.iter().map(|t| TermId(*t)).collect(),
+            Point::new(g.x, g.y),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// GI² must return exactly the same matches as a brute-force scan
+        /// over all registered queries, for any workload.
+        #[test]
+        fn gi2_matches_equal_brute_force(
+            queries in proptest::collection::vec((0u64..1000).prop_flat_map(arb_query), 0..40),
+            objects in proptest::collection::vec((0u64..1000).prop_flat_map(arb_object), 0..20),
+        ) {
+            let bounds = Rect::from_coords(0.0, 0.0, 64.0, 64.0);
+            let mut idx = Gi2Index::new(Gi2Config::new(bounds).with_granularity_exp(4));
+            let mut reference: Vec<StsQuery> = Vec::new();
+            for (i, gq) in queries.iter().enumerate() {
+                let mut q = build_query(gq);
+                q.id = QueryId(i as u64); // ensure unique ids
+                reference.push(q.clone());
+                idx.insert(q);
+            }
+            for go in &objects {
+                let o = build_object(go);
+                let mut got: Vec<QueryId> =
+                    idx.match_object(&o).iter().map(|m| m.query_id).collect();
+                got.sort_unstable();
+                got.dedup();
+                let mut expected: Vec<QueryId> = reference
+                    .iter()
+                    .filter(|q| q.matches(&o))
+                    .map(|q| q.id)
+                    .collect();
+                expected.sort_unstable();
+                prop_assert_eq!(got, expected);
+            }
+        }
+
+        /// After deleting a random subset of queries, GI² must behave exactly
+        /// like a brute-force scan over the remaining queries.
+        #[test]
+        fn gi2_with_deletions_matches_brute_force(
+            queries in proptest::collection::vec((0u64..1000).prop_flat_map(arb_query), 1..30),
+            objects in proptest::collection::vec((0u64..1000).prop_flat_map(arb_object), 0..15),
+            delete_mask in proptest::collection::vec(proptest::bool::ANY, 30),
+        ) {
+            let bounds = Rect::from_coords(0.0, 0.0, 64.0, 64.0);
+            let mut idx = Gi2Index::new(Gi2Config::new(bounds).with_granularity_exp(4));
+            let mut live: Vec<StsQuery> = Vec::new();
+            for (i, gq) in queries.iter().enumerate() {
+                let mut q = build_query(gq);
+                q.id = QueryId(i as u64);
+                idx.insert(q.clone());
+                if *delete_mask.get(i).unwrap_or(&false) {
+                    idx.delete(&q);
+                } else {
+                    live.push(q);
+                }
+            }
+            for go in &objects {
+                let o = build_object(go);
+                let mut got: Vec<QueryId> =
+                    idx.match_object(&o).iter().map(|m| m.query_id).collect();
+                got.sort_unstable();
+                let mut expected: Vec<QueryId> =
+                    live.iter().filter(|q| q.matches(&o)).map(|q| q.id).collect();
+                expected.sort_unstable();
+                prop_assert_eq!(got, expected);
+            }
+        }
+
+        /// Migrating an arbitrary cell from one index to another never loses
+        /// or duplicates matches when results are combined and deduplicated.
+        #[test]
+        fn gi2_cell_migration_preserves_global_matching(
+            queries in proptest::collection::vec((0u64..1000).prop_flat_map(arb_query), 1..25),
+            objects in proptest::collection::vec((0u64..1000).prop_flat_map(arb_object), 1..15),
+            cell_col in 0u32..16,
+            cell_row in 0u32..16,
+        ) {
+            use ps2stream_geo::CellId;
+            let bounds = Rect::from_coords(0.0, 0.0, 64.0, 64.0);
+            let mut a = Gi2Index::new(Gi2Config::new(bounds).with_granularity_exp(4));
+            let mut b = Gi2Index::new(Gi2Config::new(bounds).with_granularity_exp(4));
+            let mut reference: Vec<StsQuery> = Vec::new();
+            for (i, gq) in queries.iter().enumerate() {
+                let mut q = build_query(gq);
+                q.id = QueryId(i as u64);
+                reference.push(q.clone());
+                a.insert(q);
+            }
+            for q in a.extract_cell(CellId::new(cell_col, cell_row)) {
+                b.insert(q);
+            }
+            for go in &objects {
+                let o = build_object(go);
+                let mut got: Vec<QueryId> = a
+                    .match_object(&o)
+                    .iter()
+                    .chain(b.match_object(&o).iter())
+                    .map(|m| m.query_id)
+                    .collect();
+                got.sort_unstable();
+                got.dedup();
+                let mut expected: Vec<QueryId> = reference
+                    .iter()
+                    .filter(|q| q.matches(&o))
+                    .map(|q| q.id)
+                    .collect();
+                expected.sort_unstable();
+                prop_assert_eq!(got, expected);
+            }
+        }
+    }
+}

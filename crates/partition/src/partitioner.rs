@@ -1,0 +1,149 @@
+//! The partitioner abstraction and distribution evaluation.
+//!
+//! Every workload partitioning strategy of the paper — the text and space
+//! baselines of Section VI-B and the hybrid algorithm of Section IV-B — is a
+//! [`Partitioner`]: it consumes a [`WorkloadSample`] and produces a
+//! [`RoutingTable`] for `m` workers. [`evaluate_distribution`] replays a
+//! sample through a routing table and reports the resulting per-worker loads
+//! (Definition 1), total load and balance factor — the quantities the Optimal
+//! Workload Partitioning problem (Definition 2) optimizes.
+
+use crate::load::{CostConstants, DistributionSummary, WorkerLoad};
+use crate::routing::RoutingTable;
+use crate::sample::WorkloadSample;
+use ps2stream_model::WorkerId;
+
+/// A workload partitioning strategy.
+pub trait Partitioner {
+    /// Short human-readable name used in benchmark output (e.g. "Hybrid",
+    /// "kd-tree", "Metric").
+    fn name(&self) -> &'static str;
+
+    /// Builds a routing table distributing the sampled workload over
+    /// `num_workers` workers.
+    fn partition(&self, sample: &WorkloadSample, num_workers: usize) -> RoutingTable;
+}
+
+/// Replays the sample through the routing table (insertions first, so that
+/// the `H2` filters are populated, then objects, then deletions) and returns
+/// the resulting per-worker load components.
+pub fn evaluate_distribution(
+    table: &mut RoutingTable,
+    sample: &WorkloadSample,
+    costs: CostConstants,
+) -> DistributionSummary {
+    let mut per_worker = vec![WorkerLoad::default(); table.num_workers()];
+    for q in sample.insertions() {
+        for w in table.route_insert(q) {
+            per_worker[w.index()].insertions += 1;
+        }
+    }
+    for o in sample.objects() {
+        for w in table.route_object(o) {
+            per_worker[w.index()].objects += 1;
+        }
+    }
+    for q in sample.deletions() {
+        for w in table.route_delete(q) {
+            per_worker[w.index()].deletions += 1;
+        }
+    }
+    DistributionSummary::new(per_worker, costs)
+}
+
+/// Greedily assigns weighted items to `num_workers` bins so that bin weights
+/// stay balanced: items are visited in descending weight order and each goes
+/// to the currently lightest bin (classic LPT scheduling). Returns the bin
+/// (worker) index of every item, in the original item order.
+pub fn balanced_assignment(weights: &[f64], num_workers: usize) -> Vec<WorkerId> {
+    assert!(num_workers > 0, "balanced_assignment requires at least one worker");
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| {
+        weights[b]
+            .partial_cmp(&weights[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut bin_load = vec![0.0f64; num_workers];
+    let mut assignment = vec![WorkerId(0); weights.len()];
+    for idx in order {
+        let (best, _) = bin_load
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("num_workers > 0");
+        bin_load[best] += weights[idx].max(0.0);
+        assignment[idx] = WorkerId(best as u32);
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps2stream_geo::{Point, Rect};
+    use ps2stream_model::{ObjectId, QueryId, SpatioTextualObject, StsQuery, SubscriberId};
+    use ps2stream_text::{BooleanExpr, TermId, TermStats};
+    use std::sync::Arc;
+
+    fn obj(id: u64, terms: &[u32], x: f64, y: f64) -> SpatioTextualObject {
+        SpatioTextualObject::new(
+            ObjectId(id),
+            terms.iter().map(|t| TermId(*t)).collect(),
+            Point::new(x, y),
+        )
+    }
+
+    fn qry(id: u64, terms: &[u32], region: Rect) -> StsQuery {
+        StsQuery::new(
+            QueryId(id),
+            SubscriberId(id),
+            BooleanExpr::and_of(terms.iter().map(|t| TermId(*t))),
+            region,
+        )
+    }
+
+    #[test]
+    fn balanced_assignment_spreads_load() {
+        let weights = vec![5.0, 4.0, 3.0, 3.0, 2.0, 1.0];
+        let assignment = balanced_assignment(&weights, 2);
+        let mut bins = [0.0f64; 2];
+        for (i, w) in assignment.iter().enumerate() {
+            bins[w.index()] += weights[i];
+        }
+        assert!((bins[0] - bins[1]).abs() <= 2.0, "bins {bins:?}");
+    }
+
+    #[test]
+    fn balanced_assignment_single_worker() {
+        let assignment = balanced_assignment(&[1.0, 2.0, 3.0], 1);
+        assert!(assignment.iter().all(|w| *w == WorkerId(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn balanced_assignment_zero_workers_panics() {
+        let _ = balanced_assignment(&[1.0], 0);
+    }
+
+    #[test]
+    fn evaluate_distribution_counts_routed_tuples() {
+        let bounds = Rect::from_coords(0.0, 0.0, 16.0, 16.0);
+        let sample = WorkloadSample::new(
+            bounds,
+            vec![obj(1, &[1], 1.0, 1.0), obj(2, &[1], 15.0, 15.0), obj(3, &[9], 1.0, 1.0)],
+            vec![qry(1, &[1], Rect::from_coords(0.0, 0.0, 16.0, 16.0))],
+            vec![qry(2, &[1], Rect::from_coords(0.0, 0.0, 2.0, 2.0))],
+        );
+        let mut table =
+            RoutingTable::single_worker(bounds, 2, Arc::new(TermStats::new()));
+        let summary = evaluate_distribution(&mut table, &sample, CostConstants::default());
+        assert_eq!(summary.per_worker.len(), 1);
+        // the query spans the whole space -> 1 insertion; objects with term 1
+        // are routed, the term-9 object is discarded; 1 deletion.
+        assert_eq!(summary.per_worker[0].insertions, 1);
+        assert_eq!(summary.per_worker[0].objects, 2);
+        assert_eq!(summary.per_worker[0].deletions, 1);
+        assert!(summary.total_load() > 0.0);
+        assert_eq!(summary.balance_factor(), 1.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! Workload samples — the input of every partitioning algorithm.
+//!
+//! A [`WorkloadSample`] is a representative snapshot of the recent stream: a
+//! set of spatio-textual objects together with the STS query insertions and
+//! deletions observed in the same period (the `O`, `Q^i` and `Q^d` of
+//! Definition 2). Partitioners analyze the sample to build a routing table;
+//! the global load adjustment periodically collects a fresh sample and
+//! re-runs the partitioner.
+
+use ps2stream_geo::Rect;
+use ps2stream_model::{SpatioTextualObject, StsQuery};
+use ps2stream_text::{TermDistribution, TermStats};
+
+/// A snapshot of the recent workload used to drive partitioning decisions.
+#[derive(Debug, Clone)]
+pub struct WorkloadSample {
+    bounds: Rect,
+    objects: Vec<SpatioTextualObject>,
+    insertions: Vec<StsQuery>,
+    deletions: Vec<StsQuery>,
+    object_stats: TermStats,
+    query_stats: TermStats,
+}
+
+impl WorkloadSample {
+    /// Builds a sample. `bounds` is the spatial extent of the data space; it
+    /// is expanded if any object or query lies outside it.
+    pub fn new(
+        bounds: Rect,
+        objects: Vec<SpatioTextualObject>,
+        insertions: Vec<StsQuery>,
+        deletions: Vec<StsQuery>,
+    ) -> Self {
+        let mut bounds = bounds;
+        for o in &objects {
+            bounds.expand_to_point(&o.location);
+        }
+        for q in insertions.iter().chain(deletions.iter()) {
+            bounds = bounds.union(&q.region);
+        }
+        let mut object_stats = TermStats::new();
+        for o in &objects {
+            object_stats.observe(&o.terms);
+        }
+        let mut query_stats = TermStats::new();
+        for q in &insertions {
+            query_stats.observe(&q.keywords.all_terms());
+        }
+        Self {
+            bounds,
+            objects,
+            insertions,
+            deletions,
+            object_stats,
+            query_stats,
+        }
+    }
+
+    /// Convenience constructor without deletions.
+    pub fn from_objects_and_queries(
+        bounds: Rect,
+        objects: Vec<SpatioTextualObject>,
+        insertions: Vec<StsQuery>,
+    ) -> Self {
+        Self::new(bounds, objects, insertions, Vec::new())
+    }
+
+    /// Spatial extent of the sample.
+    pub fn bounds(&self) -> Rect {
+        self.bounds
+    }
+
+    /// The sampled objects.
+    pub fn objects(&self) -> &[SpatioTextualObject] {
+        &self.objects
+    }
+
+    /// The sampled query insertion requests.
+    pub fn insertions(&self) -> &[StsQuery] {
+        &self.insertions
+    }
+
+    /// The sampled query deletion requests.
+    pub fn deletions(&self) -> &[StsQuery] {
+        &self.deletions
+    }
+
+    /// Term document-frequencies over the sampled objects.
+    pub fn object_stats(&self) -> &TermStats {
+        &self.object_stats
+    }
+
+    /// Term document-frequencies over the sampled query keywords.
+    pub fn query_stats(&self) -> &TermStats {
+        &self.query_stats
+    }
+
+    /// Returns true if the sample has neither objects nor queries.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty() && self.insertions.is_empty() && self.deletions.is_empty()
+    }
+
+    /// Term distribution of the object texts whose location falls in `rect`.
+    pub fn object_distribution_in(&self, rect: &Rect) -> TermDistribution {
+        let mut d = TermDistribution::new();
+        for o in &self.objects {
+            if rect.contains_point(&o.location) {
+                d.add_terms(&o.terms);
+            }
+        }
+        d
+    }
+
+    /// Term distribution of the keywords of queries whose region overlaps
+    /// `rect`.
+    pub fn query_distribution_in(&self, rect: &Rect) -> TermDistribution {
+        let mut d = TermDistribution::new();
+        for q in &self.insertions {
+            if rect.intersects(&q.region) {
+                d.add_terms(&q.keywords.all_terms());
+            }
+        }
+        d
+    }
+
+    /// The cosine text similarity `simt(O_n, Q_n)` between objects and
+    /// queries restricted to `rect` (Algorithm 1, line 5).
+    pub fn text_similarity_in(&self, rect: &Rect) -> f64 {
+        self.object_distribution_in(rect)
+            .cosine_similarity(&self.query_distribution_in(rect))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps2stream_geo::Point;
+    use ps2stream_model::{ObjectId, QueryId, SubscriberId};
+    use ps2stream_text::{BooleanExpr, TermId};
+
+    fn obj(id: u64, terms: &[u32], x: f64, y: f64) -> SpatioTextualObject {
+        SpatioTextualObject::new(
+            ObjectId(id),
+            terms.iter().map(|t| TermId(*t)).collect(),
+            Point::new(x, y),
+        )
+    }
+
+    fn qry(id: u64, terms: &[u32], region: Rect) -> StsQuery {
+        StsQuery::new(
+            QueryId(id),
+            SubscriberId(id),
+            BooleanExpr::and_of(terms.iter().map(|t| TermId(*t))),
+            region,
+        )
+    }
+
+    fn sample() -> WorkloadSample {
+        WorkloadSample::new(
+            Rect::from_coords(0.0, 0.0, 10.0, 10.0),
+            vec![
+                obj(1, &[1, 2], 1.0, 1.0),
+                obj(2, &[1], 2.0, 2.0),
+                obj(3, &[3], 8.0, 8.0),
+            ],
+            vec![
+                qry(1, &[1], Rect::from_coords(0.0, 0.0, 3.0, 3.0)),
+                qry(2, &[3], Rect::from_coords(7.0, 7.0, 9.0, 9.0)),
+            ],
+            vec![qry(3, &[2], Rect::from_coords(0.0, 0.0, 1.0, 1.0))],
+        )
+    }
+
+    #[test]
+    fn stats_computed_on_construction() {
+        let s = sample();
+        assert_eq!(s.object_stats().frequency(TermId(1)), 2);
+        assert_eq!(s.object_stats().frequency(TermId(3)), 1);
+        assert_eq!(s.query_stats().frequency(TermId(1)), 1);
+        assert_eq!(s.query_stats().num_docs(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.deletions().len(), 1);
+    }
+
+    #[test]
+    fn bounds_expand_to_cover_data() {
+        let s = WorkloadSample::new(
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            vec![obj(1, &[1], 5.0, 5.0)],
+            vec![qry(1, &[1], Rect::from_coords(-2.0, -2.0, -1.0, -1.0))],
+            vec![],
+        );
+        assert!(s.bounds().contains_point(&Point::new(5.0, 5.0)));
+        assert!(s.bounds().contains_rect(&Rect::from_coords(-2.0, -2.0, -1.0, -1.0)));
+    }
+
+    #[test]
+    fn regional_distributions() {
+        let s = sample();
+        let left = Rect::from_coords(0.0, 0.0, 5.0, 5.0);
+        let d_obj = s.object_distribution_in(&left);
+        assert_eq!(d_obj.weight(TermId(1)), 2.0);
+        assert_eq!(d_obj.weight(TermId(3)), 0.0);
+        let d_qry = s.query_distribution_in(&left);
+        assert_eq!(d_qry.weight(TermId(1)), 1.0);
+        assert_eq!(d_qry.weight(TermId(3)), 0.0);
+    }
+
+    #[test]
+    fn text_similarity_reflects_region_alignment() {
+        let s = sample();
+        // left region: objects {1,2,1} vs queries {1} -> high similarity
+        let left = Rect::from_coords(0.0, 0.0, 5.0, 5.0);
+        // right region: objects {3} vs queries {3} -> perfect similarity
+        let right = Rect::from_coords(6.0, 6.0, 10.0, 10.0);
+        assert!(s.text_similarity_in(&left) > 0.5);
+        assert!((s.text_similarity_in(&right) - 1.0).abs() < 1e-9);
+        // empty region -> zero similarity
+        assert_eq!(s.text_similarity_in(&Rect::from_coords(4.0, 4.0, 5.0, 5.0)), 0.0);
+    }
+
+    #[test]
+    fn empty_sample() {
+        let s = WorkloadSample::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), vec![], vec![], vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.text_similarity_in(&s.bounds()), 0.0);
+    }
+}

@@ -1,0 +1,278 @@
+//! Throughput and latency metrics.
+//!
+//! The paper evaluates PS2Stream by its processing **throughput** (tuples per
+//! second at saturation), per-tuple **latency** (average time a tuple spends
+//! in the system) and the latency *distribution* under migration
+//! (fractions below 100 ms, between 100 ms and 1 s, above 1 s — Figures 12(c)
+//! and 15). These metric types are shared by all executors and are safe to
+//! update concurrently.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A monotonically increasing tuple counter with wall-clock bookkeeping, used
+/// to compute the sustained throughput of a run.
+#[derive(Debug, Default)]
+pub struct ThroughputMeter {
+    count: AtomicU64,
+    window: Mutex<Option<(Instant, Instant)>>,
+}
+
+impl ThroughputMeter {
+    /// Creates a meter.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records `n` processed tuples at the current instant.
+    pub fn record(&self, n: u64) {
+        self.count.fetch_add(n, Ordering::Relaxed);
+        let now = Instant::now();
+        let mut w = self.window.lock();
+        match &mut *w {
+            None => *w = Some((now, now)),
+            Some((_, end)) => *end = now,
+        }
+    }
+
+    /// Total number of tuples recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Elapsed time between the first and the last recorded tuple.
+    pub fn elapsed(&self) -> Duration {
+        self.window
+            .lock()
+            .map(|(s, e)| e.duration_since(s))
+            .unwrap_or_default()
+    }
+
+    /// Throughput in tuples per second over the observation window. Returns
+    /// `None` until at least two distinct instants have been observed.
+    pub fn tuples_per_second(&self) -> Option<f64> {
+        let elapsed = self.elapsed().as_secs_f64();
+        if elapsed <= 0.0 {
+            return None;
+        }
+        Some(self.count() as f64 / elapsed)
+    }
+}
+
+/// Latency classes reported by the migration experiments.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyBreakdown {
+    /// Fraction of tuples below the `fast` threshold.
+    pub fast: f64,
+    /// Fraction of tuples between the `fast` and `slow` thresholds.
+    pub medium: f64,
+    /// Fraction of tuples above the `slow` threshold.
+    pub slow: f64,
+}
+
+/// A concurrent latency recorder with fixed-resolution histogram buckets
+/// (1 ms buckets up to 10 s) plus exact count/sum for the mean.
+#[derive(Debug)]
+pub struct LatencyRecorder {
+    /// `buckets[i]` counts latencies in `[i, i+1)` milliseconds.
+    buckets: Vec<AtomicU64>,
+    overflow: AtomicU64,
+    count: AtomicU64,
+    total_us: AtomicU64,
+    max_us: AtomicU64,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::with_max_millis(10_000)
+    }
+}
+
+impl LatencyRecorder {
+    /// Creates a recorder tracking latencies up to `max_millis` (larger
+    /// values land in an overflow bucket).
+    pub fn with_max_millis(max_millis: usize) -> Self {
+        let mut buckets = Vec::with_capacity(max_millis);
+        buckets.resize_with(max_millis, AtomicU64::default);
+        Self {
+            buckets,
+            overflow: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+            total_us: AtomicU64::new(0),
+            max_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Creates a shared recorder.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Records one latency measurement.
+    pub fn record(&self, latency: Duration) {
+        let us = latency.as_micros().min(u64::MAX as u128) as u64;
+        let ms = (us / 1000) as usize;
+        if ms < self.buckets.len() {
+            self.buckets[ms].fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_us.fetch_add(us, Ordering::Relaxed);
+        self.max_us.fetch_max(us, Ordering::Relaxed);
+    }
+
+    /// Number of recorded measurements.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency, or `None` if nothing was recorded.
+    pub fn mean(&self) -> Option<Duration> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        Some(Duration::from_micros(
+            self.total_us.load(Ordering::Relaxed) / count,
+        ))
+    }
+
+    /// Maximum recorded latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_micros(self.max_us.load(Ordering::Relaxed))
+    }
+
+    /// The `q`-quantile (e.g. `0.99`) computed from the millisecond buckets.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let target = ((count as f64) * q.clamp(0.0, 1.0)).ceil() as u64;
+        let mut seen = 0u64;
+        for (ms, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= target {
+                return Some(Duration::from_millis(ms as u64 + 1));
+            }
+        }
+        Some(self.max())
+    }
+
+    /// Fraction of measurements strictly below the threshold.
+    pub fn fraction_below(&self, threshold: Duration) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        let limit_ms = threshold.as_millis() as usize;
+        let below: u64 = self
+            .buckets
+            .iter()
+            .take(limit_ms.min(self.buckets.len()))
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum();
+        below as f64 / count as f64
+    }
+
+    /// The three-way latency breakdown used by Figures 12(c) and 15.
+    pub fn breakdown(&self, fast: Duration, slow: Duration) -> LatencyBreakdown {
+        let fast_frac = self.fraction_below(fast);
+        let below_slow = self.fraction_below(slow);
+        LatencyBreakdown {
+            fast: fast_frac,
+            medium: (below_slow - fast_frac).max(0.0),
+            slow: (1.0 - below_slow).max(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_meter_counts_and_rates() {
+        let m = ThroughputMeter::new();
+        assert_eq!(m.count(), 0);
+        assert!(m.tuples_per_second().is_none());
+        m.record(10);
+        std::thread::sleep(Duration::from_millis(5));
+        m.record(10);
+        assert_eq!(m.count(), 20);
+        let tps = m.tuples_per_second().unwrap();
+        assert!(tps > 0.0);
+        assert!(m.elapsed() >= Duration::from_millis(4));
+    }
+
+    #[test]
+    fn latency_mean_and_max() {
+        let r = LatencyRecorder::default();
+        assert!(r.mean().is_none());
+        r.record(Duration::from_millis(10));
+        r.record(Duration::from_millis(30));
+        assert_eq!(r.count(), 2);
+        let mean = r.mean().unwrap();
+        assert!(mean >= Duration::from_millis(19) && mean <= Duration::from_millis(21));
+        assert_eq!(r.max(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn latency_quantiles() {
+        let r = LatencyRecorder::default();
+        for i in 1..=100u64 {
+            r.record(Duration::from_millis(i));
+        }
+        let p50 = r.quantile(0.5).unwrap();
+        let p99 = r.quantile(0.99).unwrap();
+        assert!(p50 >= Duration::from_millis(49) && p50 <= Duration::from_millis(52));
+        assert!(p99 >= Duration::from_millis(98));
+        assert!(r.quantile(0.0).is_some());
+    }
+
+    #[test]
+    fn latency_breakdown_matches_paper_buckets() {
+        let r = LatencyRecorder::default();
+        // 8 fast, 1 medium, 1 slow
+        for _ in 0..8 {
+            r.record(Duration::from_millis(20));
+        }
+        r.record(Duration::from_millis(500));
+        r.record(Duration::from_millis(2_000));
+        let b = r.breakdown(Duration::from_millis(100), Duration::from_millis(1_000));
+        assert!((b.fast - 0.8).abs() < 1e-9);
+        assert!((b.medium - 0.1).abs() < 1e-9);
+        assert!((b.slow - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overflow_latencies_count_as_slow() {
+        let r = LatencyRecorder::with_max_millis(100);
+        r.record(Duration::from_secs(60));
+        let b = r.breakdown(Duration::from_millis(100), Duration::from_millis(1_000));
+        assert_eq!(b.slow, 1.0);
+        assert_eq!(r.fraction_below(Duration::from_millis(100)), 0.0);
+    }
+
+    #[test]
+    fn concurrent_recording() {
+        let r = LatencyRecorder::shared();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..1000u64 {
+                        r.record(Duration::from_micros(i));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.count(), 4000);
+    }
+}

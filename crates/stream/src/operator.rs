@@ -1,0 +1,170 @@
+//! The operator abstraction of the dataflow substrate.
+//!
+//! PS2Stream's published implementation runs on Apache Storm; this crate
+//! provides the minimal equivalent needed by the reproduction: an
+//! [`Operator`] processes one input message at a time and emits messages to a
+//! set of downstream channels through an [`Emitter`]. Operators are spawned
+//! as OS threads by the [`crate::runtime::Runtime`]; when every upstream
+//! sender is dropped the operator's input drains, `finish` runs, and its own
+//! output senders are dropped — shutdown propagates naturally through the
+//! topology exactly like the end of a finite stream.
+
+use crossbeam_channel::{Receiver, Sender, TrySendError};
+
+/// Routes messages emitted by an operator to its downstream channels.
+#[derive(Debug, Clone)]
+pub struct Emitter<T> {
+    outputs: Vec<Sender<T>>,
+}
+
+impl<T> Emitter<T> {
+    /// Creates an emitter over the given downstream senders.
+    pub fn new(outputs: Vec<Sender<T>>) -> Self {
+        Self { outputs }
+    }
+
+    /// An emitter with no outputs (for sink operators).
+    pub fn sink() -> Self {
+        Self { outputs: Vec::new() }
+    }
+
+    /// Number of downstream channels.
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Sends a message to the downstream channel `index`, blocking while the
+    /// channel is full (backpressure). Messages to disconnected channels are
+    /// silently dropped (the receiver shut down first).
+    pub fn emit_to(&self, index: usize, message: T) {
+        if let Some(tx) = self.outputs.get(index) {
+            let _ = tx.send(message);
+        }
+    }
+
+    /// Attempts to send without blocking; returns the message back if the
+    /// channel is full.
+    pub fn try_emit_to(&self, index: usize, message: T) -> Result<(), T> {
+        match self.outputs.get(index) {
+            None => Ok(()),
+            Some(tx) => match tx.try_send(message) {
+                Ok(()) => Ok(()),
+                Err(TrySendError::Full(m)) => Err(m),
+                Err(TrySendError::Disconnected(_)) => Ok(()),
+            },
+        }
+    }
+
+    /// Sends a clone of the message to every downstream channel.
+    pub fn broadcast(&self, message: T)
+    where
+        T: Clone,
+    {
+        for tx in &self.outputs {
+            let _ = tx.send(message.clone());
+        }
+    }
+}
+
+/// A single-input, single-output-type dataflow operator.
+pub trait Operator: Send + 'static {
+    /// Input message type.
+    type In: Send + 'static;
+    /// Output message type.
+    type Out: Send + 'static;
+
+    /// Processes one input message, emitting zero or more outputs.
+    fn process(&mut self, input: Self::In, emitter: &Emitter<Self::Out>);
+
+    /// Called once after the input stream has drained, before the operator's
+    /// outputs are closed.
+    fn finish(&mut self, _emitter: &Emitter<Self::Out>) {}
+}
+
+/// Runs an operator to completion on the current thread: receive until every
+/// upstream sender is gone, then finish. Returns the operator so callers can
+/// inspect its final state.
+pub fn run_operator<O: Operator>(
+    mut operator: O,
+    input: Receiver<O::In>,
+    emitter: Emitter<O::Out>,
+) -> O {
+    while let Ok(message) = input.recv() {
+        operator.process(message, &emitter);
+    }
+    operator.finish(&emitter);
+    operator
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crossbeam_channel::bounded;
+
+    struct Doubler {
+        processed: usize,
+    }
+
+    impl Operator for Doubler {
+        type In = u64;
+        type Out = u64;
+        fn process(&mut self, input: u64, emitter: &Emitter<u64>) {
+            self.processed += 1;
+            emitter.emit_to(0, input * 2);
+        }
+        fn finish(&mut self, emitter: &Emitter<u64>) {
+            emitter.emit_to(0, u64::MAX);
+        }
+    }
+
+    #[test]
+    fn run_operator_processes_and_finishes() {
+        let (in_tx, in_rx) = bounded::<u64>(16);
+        let (out_tx, out_rx) = bounded::<u64>(16);
+        for i in 0..5 {
+            in_tx.send(i).unwrap();
+        }
+        drop(in_tx);
+        let op = run_operator(Doubler { processed: 0 }, in_rx, Emitter::new(vec![out_tx]));
+        assert_eq!(op.processed, 5);
+        let outputs: Vec<u64> = out_rx.iter().collect();
+        assert_eq!(outputs, vec![0, 2, 4, 6, 8, u64::MAX]);
+    }
+
+    #[test]
+    fn emitter_fanout_and_broadcast() {
+        let (tx_a, rx_a) = bounded::<u32>(4);
+        let (tx_b, rx_b) = bounded::<u32>(4);
+        let emitter = Emitter::new(vec![tx_a, tx_b]);
+        assert_eq!(emitter.num_outputs(), 2);
+        emitter.emit_to(0, 1);
+        emitter.emit_to(1, 2);
+        emitter.broadcast(9);
+        drop(emitter);
+        assert_eq!(rx_a.iter().collect::<Vec<_>>(), vec![1, 9]);
+        assert_eq!(rx_b.iter().collect::<Vec<_>>(), vec![2, 9]);
+    }
+
+    #[test]
+    fn emit_to_unknown_index_is_ignored() {
+        let emitter: Emitter<u32> = Emitter::sink();
+        emitter.emit_to(3, 42); // must not panic
+        assert_eq!(emitter.num_outputs(), 0);
+    }
+
+    #[test]
+    fn emit_to_disconnected_channel_is_ignored() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        let emitter = Emitter::new(vec![tx]);
+        emitter.emit_to(0, 1); // must not panic or block
+    }
+
+    #[test]
+    fn try_emit_reports_full_channels() {
+        let (tx, _rx) = bounded::<u32>(1);
+        let emitter = Emitter::new(vec![tx]);
+        assert!(emitter.try_emit_to(0, 1).is_ok());
+        assert_eq!(emitter.try_emit_to(0, 2), Err(2));
+    }
+}

@@ -1,0 +1,81 @@
+//! Thread management for topologies.
+//!
+//! Every executor (dispatcher, worker, merger) runs on its own OS thread —
+//! the in-process analogue of a Storm executor on a cluster node. The
+//! [`Runtime`] owns the join handles and propagates panics when joined, so a
+//! failing executor cannot silently vanish.
+
+use std::thread::{self, JoinHandle};
+
+/// Owns the threads of a running topology.
+#[derive(Debug, Default)]
+pub struct Runtime {
+    handles: Vec<(String, JoinHandle<()>)>,
+}
+
+impl Runtime {
+    /// Creates an empty runtime.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Spawns a named executor thread.
+    pub fn spawn<F>(&mut self, name: impl Into<String>, f: F)
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let name = name.into();
+        let handle = thread::Builder::new()
+            .name(name.clone())
+            .spawn(f)
+            .expect("failed to spawn executor thread");
+        self.handles.push((name, handle));
+    }
+
+    /// Number of executor threads spawned.
+    pub fn num_executors(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Waits for every executor to terminate.
+    ///
+    /// # Panics
+    /// Panics with the executor's name if any executor thread panicked.
+    pub fn join(self) {
+        for (name, handle) in self.handles {
+            if handle.join().is_err() {
+                panic!("executor '{name}' panicked");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn spawn_and_join_runs_all_executors() {
+        let counter = Arc::new(AtomicU32::new(0));
+        let mut rt = Runtime::new();
+        for i in 0..4 {
+            let counter = Arc::clone(&counter);
+            rt.spawn(format!("exec-{i}"), move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(rt.num_executors(), 4);
+        rt.join();
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "executor 'boom' panicked")]
+    fn join_propagates_panics() {
+        let mut rt = Runtime::new();
+        rt.spawn("boom", || panic!("kaboom"));
+        rt.join();
+    }
+}

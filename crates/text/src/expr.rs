@@ -1,0 +1,283 @@
+//! Boolean keyword expressions of STS queries.
+//!
+//! An STS query's text predicate `q.K` is "a set of query keywords connected
+//! by AND or OR operators" (Section III-A). We store the expression in
+//! disjunctive normal form: a disjunction of conjunctions of keywords. An
+//! object satisfies the expression if *some* conjunction is fully contained
+//! in the object's term set.
+//!
+//! The DNF view also yields the posting rule used by both GI² and the gridt
+//! dispatcher index (Section IV-C/IV-D): a query is posted under the least
+//! frequent keyword of each conjunction, which guarantees that every matching
+//! object probes at least one list containing the query.
+
+use crate::vocab::TermId;
+use serde::{Deserialize, Serialize};
+
+/// A boolean keyword expression in disjunctive normal form.
+///
+/// Invariants maintained by the constructors:
+/// * every conjunction is non-empty, sorted and deduplicated;
+/// * the expression contains at least one conjunction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BooleanExpr {
+    dnf: Vec<Vec<TermId>>,
+}
+
+impl BooleanExpr {
+    /// An expression with a single keyword.
+    pub fn single(term: TermId) -> Self {
+        Self {
+            dnf: vec![vec![term]],
+        }
+    }
+
+    /// A pure conjunction: `k1 AND k2 AND ...`.
+    ///
+    /// # Panics
+    /// Panics if `terms` is empty.
+    pub fn and_of(terms: impl IntoIterator<Item = TermId>) -> Self {
+        let clause = normalize_clause(terms.into_iter().collect());
+        assert!(!clause.is_empty(), "BooleanExpr::and_of requires at least one keyword");
+        Self { dnf: vec![clause] }
+    }
+
+    /// A pure disjunction: `k1 OR k2 OR ...`.
+    ///
+    /// # Panics
+    /// Panics if `terms` is empty.
+    pub fn or_of(terms: impl IntoIterator<Item = TermId>) -> Self {
+        let mut terms: Vec<TermId> = terms.into_iter().collect();
+        assert!(!terms.is_empty(), "BooleanExpr::or_of requires at least one keyword");
+        terms.sort_unstable();
+        terms.dedup();
+        Self {
+            dnf: terms.into_iter().map(|t| vec![t]).collect(),
+        }
+    }
+
+    /// Builds an expression from an explicit DNF (disjunction of
+    /// conjunctions). Empty conjunctions are dropped.
+    ///
+    /// # Panics
+    /// Panics if no non-empty conjunction remains.
+    pub fn from_dnf(clauses: impl IntoIterator<Item = Vec<TermId>>) -> Self {
+        let dnf: Vec<Vec<TermId>> = clauses
+            .into_iter()
+            .map(normalize_clause)
+            .filter(|c| !c.is_empty())
+            .collect();
+        assert!(!dnf.is_empty(), "BooleanExpr::from_dnf requires at least one non-empty conjunction");
+        Self { dnf }
+    }
+
+    /// The conjunctions of the DNF.
+    pub fn conjunctions(&self) -> &[Vec<TermId>] {
+        &self.dnf
+    }
+
+    /// True if the expression is a single conjunction (AND-only query).
+    pub fn is_conjunctive(&self) -> bool {
+        self.dnf.len() == 1
+    }
+
+    /// All distinct keywords appearing anywhere in the expression, sorted.
+    pub fn all_terms(&self) -> Vec<TermId> {
+        let mut out: Vec<TermId> = self.dnf.iter().flatten().copied().collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Number of distinct keywords in the expression.
+    pub fn num_keywords(&self) -> usize {
+        self.all_terms().len()
+    }
+
+    /// Returns true if the keyword occurs anywhere in the expression.
+    pub fn contains_term(&self, term: TermId) -> bool {
+        self.dnf.iter().any(|c| c.binary_search(&term).is_ok())
+    }
+
+    /// Evaluates the expression against a **sorted, deduplicated** object
+    /// term list (as produced by the tokenizer).
+    pub fn matches_sorted(&self, object_terms: &[TermId]) -> bool {
+        debug_assert!(object_terms.windows(2).all(|w| w[0] < w[1]));
+        self.dnf.iter().any(|conj| {
+            conj.iter()
+                .all(|t| object_terms.binary_search(t).is_ok())
+        })
+    }
+
+    /// For each conjunction, the keyword minimizing `frequency`, i.e. the
+    /// least frequent (most selective) keyword. These are the terms the query
+    /// is posted / routed under.
+    pub fn representative_terms<F: Fn(TermId) -> u64>(&self, frequency: F) -> Vec<TermId> {
+        let mut out: Vec<TermId> = self
+            .dnf
+            .iter()
+            .map(|conj| {
+                *conj
+                    .iter()
+                    .min_by_key(|t| (frequency(**t), t.0))
+                    .expect("conjunctions are non-empty")
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Approximate heap size of the expression in bytes (used by the memory
+    /// accounting of worker/dispatcher indexes).
+    pub fn memory_usage(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .dnf
+                .iter()
+                .map(|c| std::mem::size_of::<Vec<TermId>>() + c.len() * std::mem::size_of::<TermId>())
+                .sum::<usize>()
+    }
+}
+
+fn normalize_clause(mut clause: Vec<TermId>) -> Vec<TermId> {
+    clause.sort_unstable();
+    clause.dedup();
+    clause
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> TermId {
+        TermId(i)
+    }
+
+    #[test]
+    fn single_keyword_matches() {
+        let e = BooleanExpr::single(t(3));
+        assert!(e.matches_sorted(&[t(1), t(3), t(7)]));
+        assert!(!e.matches_sorted(&[t(1), t(7)]));
+        assert!(e.is_conjunctive());
+        assert_eq!(e.num_keywords(), 1);
+    }
+
+    #[test]
+    fn and_requires_all_terms() {
+        let e = BooleanExpr::and_of([t(1), t(5)]);
+        assert!(e.matches_sorted(&[t(1), t(2), t(5)]));
+        assert!(!e.matches_sorted(&[t(1)]));
+        assert!(!e.matches_sorted(&[t(5)]));
+        assert!(!e.matches_sorted(&[]));
+        assert!(e.is_conjunctive());
+    }
+
+    #[test]
+    fn or_requires_any_term() {
+        let e = BooleanExpr::or_of([t(1), t(5)]);
+        assert!(e.matches_sorted(&[t(1)]));
+        assert!(e.matches_sorted(&[t(5), t(9)]));
+        assert!(!e.matches_sorted(&[t(2), t(3)]));
+        assert!(!e.is_conjunctive());
+    }
+
+    #[test]
+    fn dnf_mixed_expression() {
+        // (kobe AND retired) OR lebron
+        let e = BooleanExpr::from_dnf([vec![t(1), t(2)], vec![t(3)]]);
+        assert!(e.matches_sorted(&[t(1), t(2)]));
+        assert!(e.matches_sorted(&[t(3)]));
+        assert!(!e.matches_sorted(&[t(1)]));
+        assert!(!e.matches_sorted(&[t(2)]));
+        assert_eq!(e.conjunctions().len(), 2);
+        assert_eq!(e.num_keywords(), 3);
+    }
+
+    #[test]
+    fn constructors_dedupe_and_sort() {
+        let e = BooleanExpr::and_of([t(5), t(1), t(5)]);
+        assert_eq!(e.conjunctions(), &[vec![t(1), t(5)]]);
+        let e = BooleanExpr::or_of([t(5), t(1), t(5)]);
+        assert_eq!(e.conjunctions().len(), 2);
+        let e = BooleanExpr::from_dnf([vec![], vec![t(2), t(2)]]);
+        assert_eq!(e.conjunctions(), &[vec![t(2)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one keyword")]
+    fn empty_and_panics() {
+        let _ = BooleanExpr::and_of([]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty conjunction")]
+    fn empty_dnf_panics() {
+        let _ = BooleanExpr::from_dnf([vec![]]);
+    }
+
+    #[test]
+    fn contains_term_and_all_terms() {
+        let e = BooleanExpr::from_dnf([vec![t(4), t(2)], vec![t(9)]]);
+        assert!(e.contains_term(t(2)));
+        assert!(e.contains_term(t(9)));
+        assert!(!e.contains_term(t(5)));
+        assert_eq!(e.all_terms(), vec![t(2), t(4), t(9)]);
+    }
+
+    #[test]
+    fn representative_terms_picks_least_frequent_per_conjunction() {
+        // frequencies: t1=100, t2=5, t3=50
+        let freq = |term: TermId| match term.0 {
+            1 => 100,
+            2 => 5,
+            3 => 50,
+            _ => 0,
+        };
+        let and_expr = BooleanExpr::and_of([t(1), t(2), t(3)]);
+        assert_eq!(and_expr.representative_terms(freq), vec![t(2)]);
+
+        let or_expr = BooleanExpr::or_of([t(1), t(3)]);
+        assert_eq!(or_expr.representative_terms(freq), vec![t(1), t(3)]);
+
+        let mixed = BooleanExpr::from_dnf([vec![t(1), t(3)], vec![t(2)]]);
+        assert_eq!(mixed.representative_terms(freq), vec![t(2), t(3)]);
+    }
+
+    #[test]
+    fn representative_terms_completeness_for_matching_objects() {
+        // Posting rule soundness: if an object matches, it must contain at
+        // least one representative term.
+        let freq = |term: TermId| term.0 as u64;
+        let exprs = [
+            BooleanExpr::and_of([t(1), t(2), t(3)]),
+            BooleanExpr::or_of([t(4), t(5)]),
+            BooleanExpr::from_dnf([vec![t(1), t(6)], vec![t(7), t(8)]]),
+        ];
+        let objects: Vec<Vec<TermId>> = vec![
+            vec![t(1), t(2), t(3)],
+            vec![t(4)],
+            vec![t(5), t(9)],
+            vec![t(7), t(8)],
+            vec![t(1), t(6), t(9)],
+        ];
+        for e in &exprs {
+            let reps = e.representative_terms(freq);
+            for obj in &objects {
+                if e.matches_sorted(obj) {
+                    assert!(
+                        reps.iter().any(|r| obj.binary_search(r).is_ok()),
+                        "expr {e:?} matched {obj:?} but no representative term present"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_usage_grows_with_terms() {
+        let small = BooleanExpr::single(t(1));
+        let big = BooleanExpr::and_of((0..20).map(t));
+        assert!(big.memory_usage() > small.memory_usage());
+    }
+}

@@ -1,0 +1,113 @@
+//! Text primitives for PS2Stream.
+//!
+//! The text side of the spatio-textual model: an interned [`Vocabulary`] of
+//! keywords, a [`Tokenizer`] for object text, [`BooleanExpr`] keyword
+//! predicates of STS queries, [`TermStats`] document-frequency statistics,
+//! and [`TermDistribution`] sparse vectors with the cosine similarity used by
+//! the hybrid partitioner.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod expr;
+pub mod similarity;
+pub mod stats;
+pub mod token;
+pub mod vocab;
+
+pub use expr::BooleanExpr;
+pub use similarity::TermDistribution;
+pub use stats::TermStats;
+pub use token::{Tokenizer, STOP_WORDS};
+pub use vocab::{TermId, Vocabulary};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_terms(max_id: u32, max_len: usize) -> impl Strategy<Value = Vec<TermId>> {
+        proptest::collection::vec((0..max_id).prop_map(TermId), 0..max_len).prop_map(|mut v| {
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+    }
+
+    fn arb_expr(max_id: u32) -> impl Strategy<Value = BooleanExpr> {
+        proptest::collection::vec(
+            proptest::collection::vec((0..max_id).prop_map(TermId), 1..4),
+            1..4,
+        )
+        .prop_map(BooleanExpr::from_dnf)
+    }
+
+    proptest! {
+        #[test]
+        fn expr_matching_object_contains_a_representative_term(
+            expr in arb_expr(30),
+            object in arb_terms(30, 20),
+        ) {
+            // Soundness of the least-frequent-keyword posting rule: any
+            // matching object must contain at least one representative term,
+            // regardless of the frequency function used.
+            let freq = |t: TermId| (t.0 * 7 + 3) as u64 % 11;
+            if expr.matches_sorted(&object) {
+                let reps = expr.representative_terms(freq);
+                prop_assert!(reps.iter().any(|r| object.binary_search(r).is_ok()));
+            }
+        }
+
+        #[test]
+        fn expr_superset_objects_still_match(
+            expr in arb_expr(30),
+            extra in arb_terms(60, 10),
+        ) {
+            // If an object matches, adding more terms never breaks the match
+            // (boolean expressions here are monotone: no negation).
+            let base = expr.all_terms();
+            prop_assert!(expr.matches_sorted(&base));
+            let mut bigger = base.clone();
+            bigger.extend_from_slice(&extra);
+            bigger.sort_unstable();
+            bigger.dedup();
+            prop_assert!(expr.matches_sorted(&bigger));
+        }
+
+        #[test]
+        fn cosine_similarity_bounded(
+            a in proptest::collection::vec((0u32..50, 0.0f64..100.0), 0..30),
+            b in proptest::collection::vec((0u32..50, 0.0f64..100.0), 0..30),
+        ) {
+            let da: TermDistribution = a.into_iter().map(|(t, w)| (TermId(t), w)).collect();
+            let db: TermDistribution = b.into_iter().map(|(t, w)| (TermId(t), w)).collect();
+            let sim = da.cosine_similarity(&db);
+            prop_assert!((0.0..=1.0).contains(&sim));
+            prop_assert!((sim - db.cosine_similarity(&da)).abs() < 1e-9);
+        }
+
+        #[test]
+        fn stats_least_frequent_minimizes_frequency(
+            docs in proptest::collection::vec(arb_terms(20, 10), 1..30),
+            probe in proptest::collection::vec((0u32..20).prop_map(TermId), 1..6),
+        ) {
+            let mut stats = TermStats::new();
+            for d in &docs {
+                stats.observe(d);
+            }
+            let chosen = stats.least_frequent(&probe);
+            for t in &probe {
+                prop_assert!(stats.frequency(chosen) <= stats.frequency(*t));
+            }
+        }
+
+        #[test]
+        fn tokenizer_output_sorted_unique(text in "[a-zA-Z0-9 ,.!?#]{0,200}") {
+            let tok = Tokenizer::new(Vocabulary::new());
+            let ids = tok.tokenize(&text);
+            for w in ids.windows(2) {
+                prop_assert!(w[0] < w[1]);
+            }
+        }
+    }
+}

@@ -1,0 +1,157 @@
+//! Tokenization of object text.
+//!
+//! Spatio-textual objects carry free text (tweet-like). The tokenizer
+//! lowercases, splits on non-alphanumeric characters and drops a small
+//! English stop-word list, mirroring the usual preprocessing applied to the
+//! TWEETS-US / TWEETS-UK corpora.
+
+use crate::vocab::{TermId, Vocabulary};
+
+/// English stop-words removed by [`Tokenizer::tokenize`].
+pub const STOP_WORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "but", "by", "do", "for", "from", "has", "have",
+    "he", "her", "his", "i", "in", "is", "it", "its", "me", "my", "no", "not", "of", "on", "or",
+    "our", "she", "so", "than", "that", "the", "their", "them", "they", "this", "to", "up", "was",
+    "we", "were", "what", "will", "with", "you", "your",
+];
+
+/// A tokenizer that normalizes raw text into distinct interned terms.
+#[derive(Debug, Clone)]
+pub struct Tokenizer {
+    vocab: Vocabulary,
+    min_token_len: usize,
+    remove_stop_words: bool,
+}
+
+impl Tokenizer {
+    /// Creates a tokenizer writing into the given vocabulary, with stop-word
+    /// removal enabled and a minimum token length of 2.
+    pub fn new(vocab: Vocabulary) -> Self {
+        Self {
+            vocab,
+            min_token_len: 2,
+            remove_stop_words: true,
+        }
+    }
+
+    /// Disables stop-word removal (useful for tests with tiny vocabularies).
+    pub fn with_stop_words_disabled(mut self) -> Self {
+        self.remove_stop_words = false;
+        self
+    }
+
+    /// Sets the minimum token length (shorter tokens are dropped).
+    pub fn with_min_token_len(mut self, len: usize) -> Self {
+        self.min_token_len = len;
+        self
+    }
+
+    /// The underlying vocabulary.
+    pub fn vocab(&self) -> &Vocabulary {
+        &self.vocab
+    }
+
+    /// Tokenizes `text` into a deduplicated, sorted list of term ids.
+    ///
+    /// Matching in PS2Stream is set-based (a keyword either occurs in the
+    /// object text or it does not), so duplicates within one object are
+    /// irrelevant and removed here.
+    pub fn tokenize(&self, text: &str) -> Vec<TermId> {
+        let mut ids: Vec<TermId> = text
+            .split(|c: char| !c.is_alphanumeric())
+            .filter_map(|raw| {
+                if raw.len() < self.min_token_len {
+                    return None;
+                }
+                let lower = raw.to_lowercase();
+                if self.remove_stop_words && STOP_WORDS.contains(&lower.as_str()) {
+                    return None;
+                }
+                Some(self.vocab.intern(&lower))
+            })
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tok() -> Tokenizer {
+        Tokenizer::new(Vocabulary::new())
+    }
+
+    #[test]
+    fn tokenize_lowercases_and_splits() {
+        let t = tok();
+        let ids = t.tokenize("Kobe has RETIRED!");
+        // "has" is a stop word
+        assert_eq!(ids.len(), 2);
+        assert!(t.vocab().get("kobe").is_some());
+        assert!(t.vocab().get("retired").is_some());
+        assert!(t.vocab().get("has").is_none());
+    }
+
+    #[test]
+    fn tokenize_dedups_terms() {
+        let t = tok();
+        let ids = t.tokenize("kobe kobe kobe lebron");
+        assert_eq!(ids.len(), 2);
+    }
+
+    #[test]
+    fn tokenize_output_is_sorted() {
+        let t = tok();
+        let ids = t.tokenize("zebra apple mango");
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn short_tokens_dropped() {
+        let t = tok();
+        let ids = t.tokenize("I like the NBA: a b c");
+        // "i", "a", "b", "c" too short; "the", "like" stop/kept
+        assert!(t.vocab().get("nba").is_some());
+        assert!(t.vocab().get("b").is_none());
+        assert!(!ids.is_empty());
+    }
+
+    #[test]
+    fn punctuation_and_unicode_split() {
+        let t = tok();
+        let ids = t.tokenize("café—restaurant,diner #food");
+        assert!(t.vocab().get("café").is_some());
+        assert!(t.vocab().get("restaurant").is_some());
+        assert!(t.vocab().get("food").is_some());
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn empty_text_gives_no_tokens() {
+        let t = tok();
+        assert!(t.tokenize("").is_empty());
+        assert!(t.tokenize("   !!! ").is_empty());
+    }
+
+    #[test]
+    fn stop_word_removal_can_be_disabled() {
+        let t = Tokenizer::new(Vocabulary::new()).with_stop_words_disabled();
+        let ids = t.tokenize("the and or");
+        assert_eq!(ids.len(), 3);
+    }
+
+    #[test]
+    fn shared_vocab_gives_stable_ids() {
+        let vocab = Vocabulary::new();
+        let t1 = Tokenizer::new(vocab.clone());
+        let t2 = Tokenizer::new(vocab);
+        let a = t1.tokenize("kobe retired");
+        let b = t2.tokenize("retired kobe");
+        assert_eq!(a, b);
+    }
+}

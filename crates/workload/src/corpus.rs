@@ -1,0 +1,272 @@
+//! Synthetic spatio-textual corpora (the TWEETS-US / TWEETS-UK substitutes).
+//!
+//! The real datasets (280 M US tweets, 58 M UK tweets) are not available, so
+//! the generator reproduces the two properties the evaluation depends on:
+//!
+//! * keyword frequencies follow a power law (Zipf) — this is what makes the
+//!   Q1 queries "frequent-keyword" queries and drives the text-partitioning
+//!   replication cost;
+//! * locations are heavily clustered around population centres inside the
+//!   country bounding box — this is what skews space partitioning.
+
+use crate::zipf::ZipfSampler;
+use ps2stream_geo::{Point, Rect};
+use ps2stream_model::{ObjectId, SpatioTextualObject};
+use ps2stream_text::TermId;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Samples a normally distributed value via the Box–Muller transform (kept
+/// local to avoid pulling in `rand_distr`).
+pub(crate) fn sample_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    mean + std * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Specification of a synthetic corpus.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Dataset name used in benchmark output (e.g. "TWEETS-US").
+    pub name: &'static str,
+    /// Country bounding box (lon/lat degrees).
+    pub bounds: Rect,
+    /// Number of population-centre clusters.
+    pub num_clusters: usize,
+    /// Standard deviation of each cluster, in degrees.
+    pub cluster_std: f64,
+    /// Fraction of objects drawn uniformly over the bounding box instead of
+    /// from a cluster.
+    pub uniform_fraction: f64,
+    /// Vocabulary size.
+    pub vocab_size: usize,
+    /// Zipf exponent of the keyword distribution.
+    pub zipf_exponent: f64,
+    /// Minimum and maximum number of distinct terms per object.
+    pub terms_per_object: (usize, usize),
+}
+
+impl DatasetSpec {
+    /// The TWEETS-US substitute: continental-US bounding box, 40 city
+    /// clusters.
+    pub fn tweets_us() -> Self {
+        Self {
+            name: "TWEETS-US",
+            bounds: Rect::from_coords(-125.0, 24.0, -66.0, 49.0),
+            num_clusters: 40,
+            cluster_std: 0.8,
+            uniform_fraction: 0.15,
+            vocab_size: 8_000,
+            zipf_exponent: 1.0,
+            terms_per_object: (3, 10),
+        }
+    }
+
+    /// The TWEETS-UK substitute: Great-Britain bounding box, 15 city
+    /// clusters.
+    pub fn tweets_uk() -> Self {
+        Self {
+            name: "TWEETS-UK",
+            bounds: Rect::from_coords(-8.0, 50.0, 2.0, 59.0),
+            num_clusters: 15,
+            cluster_std: 0.25,
+            uniform_fraction: 0.15,
+            vocab_size: 6_000,
+            zipf_exponent: 1.0,
+            terms_per_object: (3, 10),
+        }
+    }
+
+    /// A small dataset for unit tests and examples.
+    pub fn tiny() -> Self {
+        Self {
+            name: "TINY",
+            bounds: Rect::from_coords(0.0, 0.0, 10.0, 10.0),
+            num_clusters: 3,
+            cluster_std: 0.5,
+            uniform_fraction: 0.2,
+            vocab_size: 200,
+            zipf_exponent: 1.0,
+            terms_per_object: (2, 5),
+        }
+    }
+}
+
+/// A deterministic generator of spatio-textual objects following a
+/// [`DatasetSpec`].
+#[derive(Debug, Clone)]
+pub struct CorpusGenerator {
+    spec: DatasetSpec,
+    zipf: ZipfSampler,
+    clusters: Vec<(Point, f64)>,
+    rng: ChaCha8Rng,
+    next_id: u64,
+    next_timestamp_us: u64,
+}
+
+impl CorpusGenerator {
+    /// Creates a generator with the given seed. The same seed always yields
+    /// the same object stream.
+    pub fn new(spec: DatasetSpec, seed: u64) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let zipf = ZipfSampler::new(spec.vocab_size, spec.zipf_exponent);
+        // cluster centres with a skewed weight so some "cities" are larger
+        let clusters: Vec<(Point, f64)> = (0..spec.num_clusters)
+            .map(|i| {
+                let x = rng.gen_range(spec.bounds.min.x..spec.bounds.max.x);
+                let y = rng.gen_range(spec.bounds.min.y..spec.bounds.max.y);
+                let weight = 1.0 / (i + 1) as f64;
+                (Point::new(x, y), weight)
+            })
+            .collect();
+        Self {
+            spec,
+            zipf,
+            clusters,
+            rng,
+            next_id: 0,
+            next_timestamp_us: 0,
+        }
+    }
+
+    /// The dataset specification.
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// The spatial bounds of the corpus.
+    pub fn bounds(&self) -> Rect {
+        self.spec.bounds
+    }
+
+    fn sample_location(&mut self) -> Point {
+        let bounds = self.spec.bounds;
+        if self.rng.gen_bool(self.spec.uniform_fraction.clamp(0.0, 1.0)) {
+            return Point::new(
+                self.rng.gen_range(bounds.min.x..bounds.max.x),
+                self.rng.gen_range(bounds.min.y..bounds.max.y),
+            );
+        }
+        let total_weight: f64 = self.clusters.iter().map(|(_, w)| w).sum();
+        let mut pick = self.rng.gen_range(0.0..total_weight);
+        let mut center = self.clusters[0].0;
+        for (c, w) in &self.clusters {
+            if pick <= *w {
+                center = *c;
+                break;
+            }
+            pick -= w;
+        }
+        let std = self.spec.cluster_std;
+        let x = sample_normal(&mut self.rng, center.x, std).clamp(bounds.min.x, bounds.max.x);
+        let y = sample_normal(&mut self.rng, center.y, std).clamp(bounds.min.y, bounds.max.y);
+        Point::new(x, y)
+    }
+
+    fn sample_terms(&mut self) -> Vec<TermId> {
+        let (lo, hi) = self.spec.terms_per_object;
+        let n = self.rng.gen_range(lo..=hi.max(lo));
+        let mut terms: Vec<TermId> = (0..n)
+            .map(|_| TermId(self.zipf.sample(&mut self.rng) as u32))
+            .collect();
+        terms.sort_unstable();
+        terms.dedup();
+        terms
+    }
+
+    /// Generates the next object.
+    pub fn next_object(&mut self) -> SpatioTextualObject {
+        let id = ObjectId(self.next_id);
+        self.next_id += 1;
+        // tweets arrive roughly every few milliseconds of "event time"
+        self.next_timestamp_us += self.rng.gen_range(500..5_000);
+        let terms = self.sample_terms();
+        let location = self.sample_location();
+        SpatioTextualObject::new(id, terms, location).with_timestamp(self.next_timestamp_us)
+    }
+
+    /// Generates a batch of `n` objects.
+    pub fn generate(&mut self, n: usize) -> Vec<SpatioTextualObject> {
+        (0..n).map(|_| self.next_object()).collect()
+    }
+
+    /// Exposes the Zipf sampler (used by the query generators so query
+    /// keywords follow the corpus distribution).
+    pub fn zipf(&self) -> &ZipfSampler {
+        &self.zipf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ps2stream_text::TermStats;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let mut a = CorpusGenerator::new(DatasetSpec::tiny(), 7);
+        let mut b = CorpusGenerator::new(DatasetSpec::tiny(), 7);
+        let oa = a.generate(50);
+        let ob = b.generate(50);
+        assert_eq!(oa, ob);
+        let mut c = CorpusGenerator::new(DatasetSpec::tiny(), 8);
+        assert_ne!(oa, c.generate(50));
+    }
+
+    #[test]
+    fn objects_lie_within_bounds_and_have_terms() {
+        let mut g = CorpusGenerator::new(DatasetSpec::tweets_uk(), 1);
+        for o in g.generate(500) {
+            assert!(DatasetSpec::tweets_uk().bounds.contains_point(&o.location));
+            assert!(!o.terms.is_empty());
+            assert!(o.terms.len() <= 10);
+        }
+    }
+
+    #[test]
+    fn ids_and_timestamps_are_increasing() {
+        let mut g = CorpusGenerator::new(DatasetSpec::tiny(), 3);
+        let objects = g.generate(100);
+        for w in objects.windows(2) {
+            assert!(w[1].id > w[0].id);
+            assert!(w[1].timestamp_us > w[0].timestamp_us);
+        }
+    }
+
+    #[test]
+    fn term_distribution_is_skewed() {
+        let mut g = CorpusGenerator::new(DatasetSpec::tweets_us(), 11);
+        let mut stats = TermStats::new();
+        for o in g.generate(2_000) {
+            stats.observe(&o.terms);
+        }
+        let ranked = stats.terms_by_frequency();
+        assert!(ranked.len() > 100);
+        // the head of the distribution is much heavier than the tail
+        let head = ranked[0].1;
+        let tail = ranked[ranked.len() / 2].1;
+        assert!(head >= tail * 5, "head {head}, tail {tail}");
+    }
+
+    #[test]
+    fn locations_are_clustered() {
+        let spec = DatasetSpec::tweets_us();
+        let mut g = CorpusGenerator::new(spec.clone(), 5);
+        let objects = g.generate(2_000);
+        // split the bounding box into a 8x8 grid and check occupancy skew
+        let grid = ps2stream_geo::UniformGrid::new(spec.bounds, 8, 8);
+        let mut counts = vec![0u64; grid.num_cells()];
+        for o in &objects {
+            if let Some(c) = grid.cell_of(&o.location) {
+                counts[grid.cell_index(c)] += 1;
+            }
+        }
+        let max = *counts.iter().max().unwrap();
+        let mean = objects.len() as f64 / counts.len() as f64;
+        assert!(
+            max as f64 > mean * 3.0,
+            "expected clustering, max {max} vs mean {mean}"
+        );
+    }
+}

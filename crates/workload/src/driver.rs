@@ -1,0 +1,279 @@
+//! The workload driver: interleaving objects with query updates.
+//!
+//! Section VI-A describes the stream fed to the system:
+//!
+//! * "The ratio of processing a spatio-textual tweet to inserting or deleting
+//!   an STS query is approximately 5."
+//! * "The arrival speeds of requests for inserting an STS query and deleting
+//!   an STS query are equivalent", so the number of live queries stabilizes.
+//! * "We use a parameter µ to control the number of STS queries … using a
+//!   Gaussian distribution N(µ, σ²) to determine the number of newly arrived
+//!   STS queries between inserting an STS query and deleting it", with
+//!   σ = 0.2 µ.
+//!
+//! [`WorkloadDriver`] reproduces exactly that mix as an iterator of
+//! [`StreamRecord`]s.
+
+use crate::corpus::{sample_normal, CorpusGenerator};
+use crate::queries::QueryGenerator;
+use ps2stream_model::{QueryUpdate, StreamRecord, StsQuery, SubscriberId};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::BinaryHeap;
+
+/// Configuration of the stream mix.
+#[derive(Debug, Clone)]
+pub struct DriverConfig {
+    /// Target number of live STS queries (the paper's µ).
+    pub mu: u64,
+    /// Relative standard deviation of the query lifetime (the paper uses
+    /// σ = 0.2 µ).
+    pub sigma_fraction: f64,
+    /// Ratio of objects to query update requests (≈ 5 in the paper).
+    pub objects_per_update: u64,
+}
+
+impl DriverConfig {
+    /// Creates a configuration with the paper's defaults for a given µ.
+    pub fn with_mu(mu: u64) -> Self {
+        Self {
+            mu,
+            sigma_fraction: 0.2,
+            objects_per_update: 5,
+        }
+    }
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct PendingDeletion {
+    due_at_insert: u64,
+    query_index: usize,
+}
+
+impl Ord for PendingDeletion {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; reverse so the earliest deletion pops first
+        other.due_at_insert.cmp(&self.due_at_insert)
+    }
+}
+
+impl PartialOrd for PendingDeletion {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// An infinite iterator producing the interleaved object / query-update
+/// stream. The driver owns the corpus and query generators.
+pub struct WorkloadDriver {
+    config: DriverConfig,
+    corpus: CorpusGenerator,
+    queries: QueryGenerator,
+    rng: ChaCha8Rng,
+    /// Queries inserted so far (used to time deletions in "number of inserts"
+    /// units, as the paper specifies).
+    inserts_so_far: u64,
+    /// Live queries by insertion order (kept so deletions carry the full
+    /// query description, which the dispatcher needs for routing).
+    live: Vec<StsQuery>,
+    pending_deletions: BinaryHeap<PendingDeletion>,
+    /// Cyclic position within one object/update round.
+    phase: u64,
+    emitted: u64,
+}
+
+impl WorkloadDriver {
+    /// Creates a driver.
+    pub fn new(
+        config: DriverConfig,
+        corpus: CorpusGenerator,
+        queries: QueryGenerator,
+        seed: u64,
+    ) -> Self {
+        Self {
+            config,
+            corpus,
+            queries,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            inserts_so_far: 0,
+            live: Vec::new(),
+            pending_deletions: BinaryHeap::new(),
+            phase: 0,
+            emitted: 0,
+        }
+    }
+
+    /// Number of records emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Number of queries currently live (inserted but not yet deleted).
+    pub fn live_queries(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Mutable access to the query generator (used by the drifting-workload
+    /// experiment to flip Q3 regions mid-run).
+    pub fn query_generator_mut(&mut self) -> &mut QueryGenerator {
+        &mut self.queries
+    }
+
+    /// Pre-populates the system with `n` query insertions (the warm-up the
+    /// paper performs before measuring throughput, bringing the live query
+    /// count up to µ). Returns the produced insertion records.
+    pub fn warm_up(&mut self, n: usize) -> Vec<StreamRecord> {
+        (0..n).map(|_| self.next_insert()).collect()
+    }
+
+    fn next_insert(&mut self) -> StreamRecord {
+        let subscriber = SubscriberId(self.inserts_so_far);
+        let query = self.queries.next_query(subscriber);
+        self.inserts_so_far += 1;
+        // schedule this query's deletion after ~N(µ, (σ·µ)²) further inserts
+        let mu = self.config.mu as f64;
+        let lifetime = sample_normal(&mut self.rng, mu, mu * self.config.sigma_fraction)
+            .max(1.0)
+            .round() as u64;
+        self.pending_deletions.push(PendingDeletion {
+            due_at_insert: self.inserts_so_far + lifetime,
+            query_index: self.live.len(),
+        });
+        self.live.push(query.clone());
+        self.emitted += 1;
+        StreamRecord::Update(QueryUpdate::Insert(query))
+    }
+
+    fn due_deletion(&mut self) -> Option<StreamRecord> {
+        let due = self
+            .pending_deletions
+            .peek()
+            .map(|p| p.due_at_insert <= self.inserts_so_far)
+            .unwrap_or(false);
+        if !due {
+            return None;
+        }
+        let pending = self.pending_deletions.pop().expect("peeked");
+        let query = self.live[pending.query_index].clone();
+        self.emitted += 1;
+        Some(StreamRecord::Update(QueryUpdate::Delete(query)))
+    }
+
+    fn next_object(&mut self) -> StreamRecord {
+        self.emitted += 1;
+        StreamRecord::Object(self.corpus.next_object())
+    }
+}
+
+impl Iterator for WorkloadDriver {
+    type Item = StreamRecord;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        // one "round" = objects_per_update objects, then one update
+        // (alternating insert / deletion-if-due to keep the rates equal)
+        let round = self.config.objects_per_update + 1;
+        let pos = self.phase % round;
+        self.phase += 1;
+        if pos < self.config.objects_per_update {
+            return Some(self.next_object());
+        }
+        // update slot: alternate between an insertion and a due deletion
+        if (self.phase / round) % 2 == 0 {
+            Some(self.next_insert())
+        } else {
+            match self.due_deletion() {
+                Some(del) => Some(del),
+                None => Some(self.next_insert()),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::DatasetSpec;
+    use crate::queries::{QueryClass, QueryGeneratorConfig};
+
+    fn driver(mu: u64) -> WorkloadDriver {
+        let mut corpus = CorpusGenerator::new(DatasetSpec::tiny(), 1);
+        let sample = corpus.generate(500);
+        let queries = QueryGenerator::from_corpus(
+            &corpus,
+            &sample,
+            QueryGeneratorConfig::new(QueryClass::Q1),
+            7,
+        );
+        WorkloadDriver::new(DriverConfig::with_mu(mu), corpus, queries, 13)
+    }
+
+    #[test]
+    fn object_to_update_ratio_is_about_five() {
+        let mut d = driver(100);
+        let records: Vec<StreamRecord> = (&mut d).take(12_000).collect();
+        let objects = records.iter().filter(|r| r.is_object()).count();
+        let updates = records.len() - objects;
+        let ratio = objects as f64 / updates as f64;
+        assert!(
+            (4.5..=5.5).contains(&ratio),
+            "object/update ratio {ratio}, objects {objects}, updates {updates}"
+        );
+        assert_eq!(d.emitted(), 12_000);
+    }
+
+    #[test]
+    fn live_query_count_stabilizes_near_mu() {
+        let mu = 200u64;
+        let mut d = driver(mu);
+        let mut live: i64 = 0;
+        let mut max_live: i64 = 0;
+        for r in (&mut d).take(30_000) {
+            match r {
+                StreamRecord::Update(QueryUpdate::Insert(_)) => live += 1,
+                StreamRecord::Update(QueryUpdate::Delete(_)) => live -= 1,
+                _ => {}
+            }
+            max_live = max_live.max(live);
+        }
+        // the live population must stop growing once it reaches ~µ
+        assert!(
+            (live as f64) < mu as f64 * 2.5,
+            "live queries kept growing: {live} (µ = {mu})"
+        );
+        assert!(live > 0);
+        assert!(max_live as f64 >= mu as f64 * 0.5);
+    }
+
+    #[test]
+    fn deletions_reference_previously_inserted_queries() {
+        let mut d = driver(50);
+        let mut inserted = std::collections::HashSet::new();
+        for r in (&mut d).take(20_000) {
+            match r {
+                StreamRecord::Update(QueryUpdate::Insert(q)) => {
+                    inserted.insert(q.id);
+                }
+                StreamRecord::Update(QueryUpdate::Delete(q)) => {
+                    assert!(inserted.contains(&q.id), "deleted unknown query {:?}", q.id);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn warm_up_emits_only_insertions() {
+        let mut d = driver(100);
+        let records = d.warm_up(200);
+        assert_eq!(records.len(), 200);
+        assert!(records.iter().all(|r| r.is_insert()));
+        assert_eq!(d.live_queries(), 200);
+    }
+
+    #[test]
+    fn driver_is_deterministic() {
+        let a: Vec<StreamRecord> = driver(100).take(1_000).collect();
+        let b: Vec<StreamRecord> = driver(100).take(1_000).collect();
+        assert_eq!(a, b);
+    }
+}

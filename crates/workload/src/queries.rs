@@ -1,0 +1,400 @@
+//! STS query generators (Section VI-A).
+//!
+//! The paper synthesizes queries from the tweet corpora:
+//!
+//! * the number of keywords is uniform in 1..=3, connected by AND or OR;
+//! * the query range is a square whose center is a randomly selected tweet
+//!   location;
+//! * **Q1**: side length 1–50 km, keywords drawn from the corpus keyword
+//!   distribution (so query keywords are *frequent* among objects);
+//! * **Q2**: side length 1–100 km, at least one keyword outside the top 1 %
+//!   most frequent terms (so queries are more selective, ranges larger);
+//! * **Q3**: the country is divided into a 10×10 grid of regions and each
+//!   region uses Q1 or Q2, modelling users in different regions having
+//!   different preferences.
+
+use crate::corpus::CorpusGenerator;
+use crate::zipf::ZipfSampler;
+use ps2stream_geo::{km_to_degrees, Point, Rect, UniformGrid};
+use ps2stream_model::{QueryId, SpatioTextualObject, StsQuery, SubscriberId};
+use ps2stream_text::{BooleanExpr, TermId, TermStats};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which query family to generate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryClass {
+    /// Frequent keywords, 1–50 km ranges.
+    Q1,
+    /// At least one rare keyword, 1–100 km ranges.
+    Q2,
+    /// Region-dependent mix of Q1 and Q2 over a 10×10 grid.
+    Q3,
+}
+
+impl QueryClass {
+    /// Name used in benchmark output ("Q1", "Q2", "Q3").
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueryClass::Q1 => "Q1",
+            QueryClass::Q2 => "Q2",
+            QueryClass::Q3 => "Q3",
+        }
+    }
+}
+
+/// Configuration shared by the query generators.
+#[derive(Debug, Clone)]
+pub struct QueryGeneratorConfig {
+    /// The query class to generate.
+    pub class: QueryClass,
+    /// Number of regions per axis for Q3 (the paper uses a 10×10 = 100-region
+    /// split).
+    pub q3_regions_per_axis: u32,
+    /// Fraction of the most frequent terms considered "top" for the Q2
+    /// constraint (the paper uses 1 %).
+    pub top_fraction: f64,
+    /// Maximum keyword rank sampled for Q1 keywords (keeps Q1 keywords inside
+    /// the frequent head of the vocabulary).
+    pub q1_keyword_pool: usize,
+}
+
+impl QueryGeneratorConfig {
+    /// Default configuration for a query class.
+    pub fn new(class: QueryClass) -> Self {
+        Self {
+            class,
+            q3_regions_per_axis: 10,
+            top_fraction: 0.01,
+            q1_keyword_pool: 2_000,
+        }
+    }
+}
+
+/// Generates STS queries against a corpus sample.
+#[derive(Debug, Clone)]
+pub struct QueryGenerator {
+    config: QueryGeneratorConfig,
+    bounds: Rect,
+    /// Tweet locations from which query centers are drawn.
+    centers: Vec<Point>,
+    /// Keyword sampler following the corpus distribution.
+    zipf: ZipfSampler,
+    /// Terms in the top `top_fraction` of the corpus (excluded set of Q2).
+    frequent_terms: Vec<TermId>,
+    /// Per-region class assignment for Q3.
+    q3_grid: UniformGrid,
+    q3_classes: Vec<QueryClass>,
+    rng: ChaCha8Rng,
+    next_id: u64,
+}
+
+impl QueryGenerator {
+    /// Builds a generator from a corpus generator and a sample of its
+    /// objects. The sample provides query centers and the term statistics
+    /// needed by the Q2 "not in the top 1 %" constraint.
+    pub fn from_corpus(
+        corpus: &CorpusGenerator,
+        sample: &[SpatioTextualObject],
+        config: QueryGeneratorConfig,
+        seed: u64,
+    ) -> Self {
+        let mut stats = TermStats::new();
+        for o in sample {
+            stats.observe(&o.terms);
+        }
+        let centers: Vec<Point> = sample.iter().map(|o| o.location).collect();
+        Self::new(
+            corpus.bounds(),
+            centers,
+            corpus.zipf().clone(),
+            &stats,
+            config,
+            seed,
+        )
+    }
+
+    /// Builds a generator from explicit parts.
+    pub fn new(
+        bounds: Rect,
+        centers: Vec<Point>,
+        zipf: ZipfSampler,
+        stats: &TermStats,
+        config: QueryGeneratorConfig,
+        seed: u64,
+    ) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let frequent_terms = stats.top_fraction(config.top_fraction);
+        let n = config.q3_regions_per_axis.max(1);
+        let q3_grid = UniformGrid::new(bounds, n, n);
+        let q3_classes: Vec<QueryClass> = (0..q3_grid.num_cells())
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    QueryClass::Q1
+                } else {
+                    QueryClass::Q2
+                }
+            })
+            .collect();
+        Self {
+            config,
+            bounds,
+            centers,
+            zipf,
+            frequent_terms,
+            q3_grid,
+            q3_classes,
+            rng,
+            next_id: 0,
+        }
+    }
+
+    /// The query class being generated.
+    pub fn class(&self) -> QueryClass {
+        self.config.class
+    }
+
+    /// The Q3 per-region class assignment (used by the drifting-workload
+    /// experiment of Figure 16, which periodically flips 10 % of the regions).
+    pub fn q3_classes_mut(&mut self) -> &mut Vec<QueryClass> {
+        &mut self.q3_classes
+    }
+
+    /// Flips the Q1/Q2 assignment of a random `fraction` of the Q3 regions
+    /// (the workload drift of the Figure 16 experiment).
+    pub fn drift_q3_regions(&mut self, fraction: f64) {
+        let n = self.q3_classes.len();
+        let flips = ((n as f64) * fraction).round() as usize;
+        for _ in 0..flips {
+            let i = self.rng.gen_range(0..n);
+            self.q3_classes[i] = match self.q3_classes[i] {
+                QueryClass::Q1 => QueryClass::Q2,
+                QueryClass::Q2 => QueryClass::Q1,
+                QueryClass::Q3 => QueryClass::Q1,
+            };
+        }
+    }
+
+    fn sample_center(&mut self) -> Point {
+        if self.centers.is_empty() {
+            return Point::new(
+                self.rng.gen_range(self.bounds.min.x..self.bounds.max.x),
+                self.rng.gen_range(self.bounds.min.y..self.bounds.max.y),
+            );
+        }
+        self.centers[self.rng.gen_range(0..self.centers.len())]
+    }
+
+    fn sample_keywords(&mut self, class: QueryClass) -> Vec<TermId> {
+        let count = self.rng.gen_range(1..=3usize);
+        let mut keywords: Vec<TermId> = Vec::with_capacity(count);
+        match class {
+            QueryClass::Q1 => {
+                let pool = self.config.q1_keyword_pool.min(self.zipf.len()).max(1);
+                while keywords.len() < count {
+                    let rank = self.zipf.sample(&mut self.rng) % pool;
+                    let t = TermId(rank as u32);
+                    if !keywords.contains(&t) {
+                        keywords.push(t);
+                    }
+                }
+            }
+            QueryClass::Q2 => {
+                // every keyword is drawn from outside the most frequent head
+                // of the vocabulary, which guarantees the paper's requirement
+                // of "at least one keyword that is not in the top 1% most
+                // frequent terms" and gives Q2 its selective character
+                while keywords.len() < count {
+                    let t = self.sample_rare_term();
+                    if !keywords.contains(&t) {
+                        keywords.push(t);
+                    }
+                }
+            }
+            QueryClass::Q3 => unreachable!("Q3 delegates to Q1/Q2 per region"),
+        }
+        keywords
+    }
+
+    fn sample_rare_term(&mut self) -> TermId {
+        for _ in 0..64 {
+            let t = TermId(self.zipf.sample(&mut self.rng) as u32);
+            if !self.frequent_terms.contains(&t) {
+                return t;
+            }
+        }
+        // fall back to a uniformly drawn tail term
+        TermId(self.rng.gen_range(0..self.zipf.len()) as u32)
+    }
+
+    fn side_length_degrees(&mut self, class: QueryClass) -> f64 {
+        let km = match class {
+            QueryClass::Q1 => self.rng.gen_range(1.0..=50.0),
+            QueryClass::Q2 => self.rng.gen_range(1.0..=100.0),
+            QueryClass::Q3 => unreachable!("Q3 delegates to Q1/Q2 per region"),
+        };
+        km_to_degrees(km)
+    }
+
+    /// Generates the next query for the given subscriber.
+    pub fn next_query(&mut self, subscriber: SubscriberId) -> StsQuery {
+        let id = QueryId(self.next_id);
+        self.next_id += 1;
+        let center = self.sample_center();
+        let class = match self.config.class {
+            QueryClass::Q3 => {
+                let cell = self.q3_grid.cell_of_clamped(&center);
+                self.q3_classes[self.q3_grid.cell_index(cell)]
+            }
+            c => c,
+        };
+        let keywords = self.sample_keywords(class);
+        let expr = if keywords.len() == 1 || self.rng.gen_bool(0.5) {
+            BooleanExpr::and_of(keywords)
+        } else {
+            BooleanExpr::or_of(keywords)
+        };
+        let side = self.side_length_degrees(class);
+        StsQuery::new(id, subscriber, expr, Rect::square(center, side))
+    }
+
+    /// Generates `n` queries with subscriber ids equal to their query ids.
+    pub fn generate(&mut self, n: usize) -> Vec<StsQuery> {
+        (0..n)
+            .map(|_| {
+                let sub = SubscriberId(self.next_id);
+                self.next_query(sub)
+            })
+            .collect()
+    }
+
+    /// The set of frequent terms excluded by the Q2 constraint.
+    pub fn frequent_terms(&self) -> &[TermId] {
+        &self.frequent_terms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{CorpusGenerator, DatasetSpec};
+
+    fn build(class: QueryClass) -> (QueryGenerator, Vec<SpatioTextualObject>) {
+        let mut corpus = CorpusGenerator::new(DatasetSpec::tweets_uk(), 3);
+        let sample = corpus.generate(2_000);
+        let generator = QueryGenerator::from_corpus(
+            &corpus,
+            &sample,
+            QueryGeneratorConfig::new(class),
+            99,
+        );
+        (generator, sample)
+    }
+
+    #[test]
+    fn q1_queries_have_expected_shape() {
+        let (mut generator, sample) = build(QueryClass::Q1);
+        let bounds = DatasetSpec::tweets_uk().bounds;
+        let max_side = km_to_degrees(50.0) + 1e-9;
+        let centers: Vec<Point> = sample.iter().map(|o| o.location).collect();
+        for q in generator.generate(200) {
+            assert!(q.keywords.num_keywords() >= 1 && q.keywords.num_keywords() <= 3);
+            assert!(q.region.width() <= max_side);
+            assert!(q.region.height() <= max_side);
+            // the center of the region is one of the sampled tweet locations
+            let c = q.region.center();
+            assert!(
+                centers.iter().any(|p| p.distance(&c) < 1e-9),
+                "query center {c:?} is not a tweet location"
+            );
+            assert!(bounds.intersects(&q.region));
+        }
+    }
+
+    #[test]
+    fn q2_queries_contain_a_rare_keyword_and_larger_ranges() {
+        let (mut generator, _) = build(QueryClass::Q2);
+        let frequent = generator.frequent_terms().to_vec();
+        let max_side = km_to_degrees(100.0) + 1e-9;
+        let mut larger_than_q1 = 0;
+        for q in generator.generate(200) {
+            assert!(q
+                .keywords
+                .all_terms()
+                .iter()
+                .any(|t| !frequent.contains(t)));
+            assert!(q.region.width() <= max_side);
+            if q.region.width() > km_to_degrees(50.0) {
+                larger_than_q1 += 1;
+            }
+        }
+        // about half of the Q2 ranges exceed the Q1 maximum
+        assert!(larger_than_q1 > 50);
+    }
+
+    #[test]
+    fn q1_keywords_are_more_frequent_than_q2_keywords() {
+        let (mut g1, sample) = build(QueryClass::Q1);
+        let (mut g2, _) = build(QueryClass::Q2);
+        let mut stats = TermStats::new();
+        for o in &sample {
+            stats.observe(&o.terms);
+        }
+        let avg_freq = |qs: &[StsQuery]| -> f64 {
+            let mut total = 0.0;
+            let mut n = 0.0;
+            for q in qs {
+                for t in q.keywords.all_terms() {
+                    total += stats.frequency(t) as f64;
+                    n += 1.0;
+                }
+            }
+            total / n
+        };
+        let f1 = avg_freq(&g1.generate(300));
+        let f2 = avg_freq(&g2.generate(300));
+        assert!(
+            f1 > f2 * 1.5,
+            "Q1 keywords should be markedly more frequent (Q1 {f1:.1} vs Q2 {f2:.1})"
+        );
+    }
+
+    #[test]
+    fn q3_mixes_classes_by_region() {
+        let (mut generator, _) = build(QueryClass::Q3);
+        assert_eq!(generator.class(), QueryClass::Q3);
+        let queries = generator.generate(400);
+        let q1_max = km_to_degrees(50.0);
+        let small = queries.iter().filter(|q| q.region.width() <= q1_max).count();
+        let large = queries.len() - small;
+        // both region styles must be present
+        assert!(small > 0 && large > 0, "small={small} large={large}");
+    }
+
+    #[test]
+    fn drift_changes_region_assignment() {
+        let (mut generator, _) = build(QueryClass::Q3);
+        let before = generator.q3_classes_mut().clone();
+        generator.drift_q3_regions(0.5);
+        let after = generator.q3_classes_mut().clone();
+        assert_ne!(before, after);
+        assert_eq!(before.len(), after.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (mut a, _) = build(QueryClass::Q1);
+        let (mut b, _) = build(QueryClass::Q1);
+        assert_eq!(a.generate(50), b.generate(50));
+    }
+
+    #[test]
+    fn query_ids_are_unique_and_increasing() {
+        let (mut generator, _) = build(QueryClass::Q2);
+        let qs = generator.generate(100);
+        for w in qs.windows(2) {
+            assert!(w[1].id > w[0].id);
+        }
+    }
+}

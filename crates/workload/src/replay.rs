@@ -1,0 +1,109 @@
+//! Accelerated event-time replay.
+//!
+//! The migration experiments of Section VI-D replay "a sample of
+//! spatio-textual tweets in 60 days", scaled out "by reading 4 hours of
+//! tweets in every 10 seconds" using the tweets' timestamps. [`ReplayClock`]
+//! implements that acceleration: it maps event time (the timestamps carried
+//! by the objects) onto processing time with a configurable speed-up factor,
+//! and tells the driver how many events of the recorded stream should have
+//! been released at any processing instant.
+
+use std::time::Duration;
+
+/// Maps event time onto accelerated processing time.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayClock {
+    /// How many seconds of event time elapse per second of processing time.
+    speedup: f64,
+}
+
+impl ReplayClock {
+    /// Creates a clock replaying `event_window` of data every
+    /// `processing_window` of wall-clock time (the paper uses 4 hours per
+    /// 10 seconds, a speed-up of 1440×).
+    ///
+    /// # Panics
+    /// Panics if either window is zero.
+    pub fn new(event_window: Duration, processing_window: Duration) -> Self {
+        assert!(!event_window.is_zero(), "event window must be non-zero");
+        assert!(!processing_window.is_zero(), "processing window must be non-zero");
+        Self {
+            speedup: event_window.as_secs_f64() / processing_window.as_secs_f64(),
+        }
+    }
+
+    /// The paper's configuration: 4 hours of tweets every 10 seconds.
+    pub fn paper_default() -> Self {
+        Self::new(Duration::from_secs(4 * 3600), Duration::from_secs(10))
+    }
+
+    /// The acceleration factor (event seconds per processing second).
+    pub fn speedup(&self) -> f64 {
+        self.speedup
+    }
+
+    /// Converts a processing-time duration into the amount of event time that
+    /// should have been replayed.
+    pub fn event_time_for(&self, processing: Duration) -> Duration {
+        Duration::from_secs_f64(processing.as_secs_f64() * self.speedup)
+    }
+
+    /// Converts an event-time duration into the processing time it occupies
+    /// under this replay.
+    pub fn processing_time_for(&self, event: Duration) -> Duration {
+        Duration::from_secs_f64(event.as_secs_f64() / self.speedup)
+    }
+
+    /// Given a sorted slice of event timestamps (microseconds, as carried by
+    /// [`ps2stream_model::SpatioTextualObject::timestamp_us`]) and the
+    /// processing time elapsed since the replay started, returns how many of
+    /// those events should have been released.
+    pub fn released_count(&self, timestamps_us: &[u64], elapsed: Duration) -> usize {
+        debug_assert!(timestamps_us.windows(2).all(|w| w[0] <= w[1]));
+        let Some(&start) = timestamps_us.first() else {
+            return 0;
+        };
+        let event_elapsed_us = self.event_time_for(elapsed).as_micros() as u64;
+        let cutoff = start.saturating_add(event_elapsed_us);
+        timestamps_us.partition_point(|&t| t <= cutoff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_speedup_is_1440x() {
+        let clock = ReplayClock::paper_default();
+        assert!((clock.speedup() - 1440.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn event_and_processing_time_are_inverse() {
+        let clock = ReplayClock::new(Duration::from_secs(3600), Duration::from_secs(10));
+        let event = clock.event_time_for(Duration::from_secs(5));
+        assert_eq!(event, Duration::from_secs(1800));
+        let back = clock.processing_time_for(event);
+        assert!((back.as_secs_f64() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn released_count_follows_the_accelerated_clock() {
+        // events every 60 seconds of event time
+        let timestamps: Vec<u64> = (0..100u64).map(|i| i * 60_000_000).collect();
+        let clock = ReplayClock::new(Duration::from_secs(600), Duration::from_secs(1));
+        // after 1 s of processing, 600 s of events (i.e. 11 events: t=0..=600)
+        assert_eq!(clock.released_count(&timestamps, Duration::from_secs(1)), 11);
+        // after 10 s everything has been released
+        assert_eq!(clock.released_count(&timestamps, Duration::from_secs(10)), 100);
+        // nothing released from an empty recording
+        assert_eq!(clock.released_count(&[], Duration::from_secs(1)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_window_panics() {
+        let _ = ReplayClock::new(Duration::ZERO, Duration::from_secs(1));
+    }
+}

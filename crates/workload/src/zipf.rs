@@ -1,0 +1,122 @@
+//! Zipf-distributed term sampling.
+//!
+//! The paper notes that "the keywords in queries satisfy the power-law
+//! distribution" of the tweet corpora; the synthetic corpus generator uses a
+//! [`ZipfSampler`] to reproduce that skew.
+
+use rand::Rng;
+
+/// Samples ranks `0 .. n` with probability proportional to `1 / (rank+1)^s`.
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Creates a sampler over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is not finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "ZipfSampler requires at least one rank");
+        assert!(s.is_finite(), "ZipfSampler exponent must be finite");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / ((rank + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Self { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Returns true if the sampler has a single rank.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).unwrap_or(std::cmp::Ordering::Equal))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Probability mass of a rank.
+    pub fn probability(&self, rank: usize) -> f64 {
+        if rank >= self.cumulative.len() {
+            return 0.0;
+        }
+        let prev = if rank == 0 {
+            0.0
+        } else {
+            self.cumulative[rank - 1]
+        };
+        self.cumulative[rank] - prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let z = ZipfSampler::new(100, 1.0);
+        let total: f64 = (0..100).map(|r| z.probability(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.probability(100), 0.0);
+        assert_eq!(z.len(), 100);
+    }
+
+    #[test]
+    fn lower_ranks_are_more_likely() {
+        let z = ZipfSampler::new(50, 1.0);
+        assert!(z.probability(0) > z.probability(1));
+        assert!(z.probability(1) > z.probability(10));
+        assert!(z.probability(10) > z.probability(49));
+    }
+
+    #[test]
+    fn sampling_matches_skew() {
+        let z = ZipfSampler::new(1000, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let mut counts = vec![0u64; 1000];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        // the most frequent rank should dominate the tail
+        assert!(counts[0] > counts[100] * 10);
+        assert!(counts[0] > counts[999]);
+        // every sampled rank must be in range (indexing would have panicked)
+        assert_eq!(counts.iter().sum::<u64>(), 100_000);
+    }
+
+    #[test]
+    fn exponent_zero_is_uniform() {
+        let z = ZipfSampler::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.probability(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn zero_ranks_panics() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Ad targeting: an advertiser (the paper's "business user") registers
+//! subscriptions that identify potential customers — people posting about
+//! restaurants, coffee or brunch inside target zones — and measures how many
+//! leads each campaign zone produces from a large synthetic stream.
+//!
+//! ```sh
+//! cargo run --release --example ad_targeting
+//! ```
+
+use ps2stream::prelude::*;
+use ps2stream_stream::unbounded;
+use std::collections::HashMap;
+
+fn main() {
+    let spec = DatasetSpec::tweets_us();
+
+    // --- campaign definition -------------------------------------------------
+    // The advertiser targets three metropolitan zones with food-related
+    // keywords. Keywords are expressed against the synthetic corpus
+    // vocabulary: the generator's most frequent term ids stand in for popular
+    // words, rarer ids for niche ones.
+    let campaign_zones: Vec<(&str, Point)> = vec![
+        ("west-coast-zone", Point::new(-122.3, 37.8)),
+        ("midwest-zone", Point::new(-87.7, 41.9)),
+        ("east-coast-zone", Point::new(-74.0, 40.7)),
+    ];
+    // each zone gets subscriptions over a mix of popular and niche keywords
+    let keyword_sets: Vec<Vec<u32>> = vec![
+        vec![5, 17],        // "restaurant AND dinner"
+        vec![23, 41, 77],   // "coffee OR brunch OR bakery"
+        vec![101, 5],       // "vegan AND restaurant"
+    ];
+
+    let mut queries = Vec::new();
+    let mut campaign_of_query: HashMap<QueryId, String> = HashMap::new();
+    let mut next_id = 0u64;
+    for (zone_name, center) in &campaign_zones {
+        for (k, keywords) in keyword_sets.iter().enumerate() {
+            let terms: Vec<TermId> = keywords.iter().map(|t| TermId(*t)).collect();
+            let expr = if k % 2 == 0 {
+                BooleanExpr::and_of(terms)
+            } else {
+                BooleanExpr::or_of(terms)
+            };
+            // 40 km square campaign zone
+            let region = Rect::square(*center, 40.0 / 111.0);
+            let id = QueryId(next_id);
+            queries.push(StsQuery::new(id, SubscriberId(1000 + next_id), expr, region));
+            campaign_of_query.insert(id, format!("{zone_name}/set{k}"));
+            next_id += 1;
+        }
+    }
+
+    // --- synthetic customer stream ------------------------------------------
+    let mut corpus = CorpusGenerator::new(spec.clone(), 7);
+    let posts = corpus.generate(150_000);
+
+    // --- calibration + deployment --------------------------------------------
+    let sample = WorkloadSample::from_objects_and_queries(
+        spec.bounds,
+        posts[..20_000].to_vec(),
+        queries.clone(),
+    );
+    let (delivery_tx, delivery_rx) = unbounded::<MatchResult>();
+    let mut system = Ps2StreamBuilder::new(SystemConfig::paper_default())
+        .with_partitioner(Box::new(HybridPartitioner::default()))
+        .with_calibration_sample(sample)
+        .with_delivery(delivery_tx)
+        .start();
+
+    for q in &queries {
+        system.send(StreamRecord::Update(QueryUpdate::Insert(q.clone())));
+    }
+    for post in &posts {
+        system.send(StreamRecord::Object(post.clone()));
+    }
+    let report = system.finish();
+
+    // --- campaign report ------------------------------------------------------
+    let mut leads_per_campaign: HashMap<String, u64> = HashMap::new();
+    for m in delivery_rx.try_iter() {
+        if let Some(campaign) = campaign_of_query.get(&m.query_id) {
+            *leads_per_campaign.entry(campaign.clone()).or_insert(0) += 1;
+        }
+    }
+    println!("Ad targeting over {} geo-tagged posts", posts.len());
+    println!("  throughput     : {:.0} tuples/s", report.throughput_tps);
+    println!("  mean latency   : {:.2} ms", report.mean_latency.as_secs_f64() * 1e3);
+    println!("  total leads    : {}", report.matches_delivered);
+    let mut campaigns: Vec<(String, u64)> = leads_per_campaign.into_iter().collect();
+    campaigns.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    for (campaign, leads) in campaigns {
+        println!("    {campaign:<22} {leads:>8} leads");
+    }
+    println!(
+        "  {} objects were discarded at the dispatchers without touching any worker",
+        report.discarded_objects
+    );
+}

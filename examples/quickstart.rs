@@ -1,0 +1,59 @@
+//! Quickstart: build a PS2Stream deployment, register subscriptions, stream
+//! geo-tagged objects and read the delivery report.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ps2stream::prelude::*;
+use ps2stream_stream::unbounded;
+
+fn main() {
+    // 1. A calibration sample drives the hybrid workload partitioner: it is a
+    //    snapshot of what the upcoming stream looks like (here synthesized by
+    //    the built-in TWEETS-US generator).
+    let sample = ps2stream_workload::build_sample(
+        DatasetSpec::tweets_us(),
+        QueryClass::Q1,
+        20_000, // objects in the sample
+        4_000,  // STS queries in the sample
+        42,
+    );
+
+    // 2. Start the cluster: 4 dispatchers, 8 workers, 2 mergers — the paper's
+    //    default deployment — with the hybrid partitioning strategy.
+    let (delivery_tx, delivery_rx) = unbounded::<MatchResult>();
+    let mut system = Ps2StreamBuilder::new(SystemConfig::paper_default())
+        .with_partitioner(Box::new(HybridPartitioner::default()))
+        .with_calibration_sample(sample.clone())
+        .with_delivery(delivery_tx)
+        .start();
+
+    // 3. Register the subscriptions and stream the objects.
+    for q in sample.insertions() {
+        system.send(StreamRecord::Update(QueryUpdate::Insert(q.clone())));
+    }
+    for o in sample.objects() {
+        system.send(StreamRecord::Object(o.clone()));
+    }
+
+    // 4. Drain the system and inspect the run report.
+    let report = system.finish();
+    let delivered: Vec<MatchResult> = delivery_rx.try_iter().collect();
+
+    println!("PS2Stream quickstart");
+    println!("  records processed : {}", report.records_in);
+    println!("  throughput        : {:.0} tuples/s", report.throughput_tps);
+    println!("  mean latency      : {:.2} ms", report.mean_latency.as_secs_f64() * 1e3);
+    println!("  matches delivered : {}", report.matches_delivered);
+    println!("  duplicates removed: {}", report.duplicates_removed);
+    println!("  discarded objects : {}", report.discarded_objects);
+    println!("  load balance      : {:.2} (Lmax/Lmin)", report.balance_factor());
+    assert_eq!(delivered.len() as u64, report.matches_delivered);
+    if let Some(m) = delivered.first() {
+        println!(
+            "  e.g. object {:?} was delivered to subscriber {:?} (query {:?})",
+            m.object_id, m.subscriber, m.query_id
+        );
+    }
+}

@@ -1,0 +1,140 @@
+//! End-to-end integration tests: a full PS2Stream deployment (dispatchers,
+//! workers, mergers) must deliver exactly the matches a brute-force evaluation
+//! of the STS queries produces, for every partitioning strategy.
+
+use ps2stream::prelude::*;
+use ps2stream_partition::all_partitioners;
+use ps2stream_stream::unbounded;
+use std::collections::HashSet;
+
+/// Runs one deployment over the sample and returns the delivered
+/// (query, object) pairs together with the run report.
+fn run_system(
+    partitioner: Box<dyn Partitioner>,
+    sample: &WorkloadSample,
+    workers: usize,
+) -> (HashSet<(QueryId, ObjectId)>, RunReport) {
+    let (delivery_tx, delivery_rx) = unbounded::<MatchResult>();
+    // a single dispatcher keeps insert-before-object ordering deterministic
+    let mut system = Ps2StreamBuilder::new(SystemConfig {
+        num_dispatchers: 1,
+        num_workers: workers,
+        num_mergers: 2,
+        ..SystemConfig::default()
+    })
+    .with_partitioner(partitioner)
+    .with_calibration_sample(sample.clone())
+    .with_delivery(delivery_tx)
+    .start();
+    for q in sample.insertions() {
+        system.send(StreamRecord::Update(QueryUpdate::Insert(q.clone())));
+    }
+    for o in sample.objects() {
+        system.send(StreamRecord::Object(o.clone()));
+    }
+    let report = system.finish();
+    let delivered: HashSet<(QueryId, ObjectId)> = delivery_rx
+        .try_iter()
+        .map(|m| (m.query_id, m.object_id))
+        .collect();
+    (delivered, report)
+}
+
+fn brute_force(sample: &WorkloadSample) -> HashSet<(QueryId, ObjectId)> {
+    let mut expected = HashSet::new();
+    for o in sample.objects() {
+        for q in sample.insertions() {
+            if q.matches(o) {
+                expected.insert((q.id, o.id));
+            }
+        }
+    }
+    expected
+}
+
+#[test]
+fn every_partitioning_strategy_delivers_exactly_the_correct_matches() {
+    let sample = ps2stream_workload::build_sample(DatasetSpec::tiny(), QueryClass::Q1, 600, 120, 7);
+    let expected = brute_force(&sample);
+    assert!(!expected.is_empty(), "the test workload should produce matches");
+    for partitioner in all_partitioners() {
+        let name = partitioner.name();
+        let (delivered, report) = run_system(partitioner, &sample, 4);
+        assert_eq!(
+            delivered, expected,
+            "{name}: delivered matches differ from the brute-force result"
+        );
+        assert_eq!(report.matches_delivered as usize, expected.len(), "{name}");
+        assert_eq!(report.records_in, 720, "{name}");
+    }
+}
+
+#[test]
+fn q2_workload_with_or_queries_is_also_exact() {
+    let sample =
+        ps2stream_workload::build_sample(DatasetSpec::tweets_uk(), QueryClass::Q2, 800, 150, 11);
+    let expected = brute_force(&sample);
+    let (delivered, report) = run_system(Box::new(HybridPartitioner::default()), &sample, 6);
+    assert_eq!(delivered, expected);
+    assert!(report.duplicates_removed < report.matches_delivered.max(1) * 3);
+}
+
+#[test]
+fn deletions_stop_deliveries_cluster_wide() {
+    // register queries, delete half of them, then stream objects: only the
+    // surviving queries may produce matches
+    let sample = ps2stream_workload::build_sample(DatasetSpec::tiny(), QueryClass::Q1, 500, 100, 13);
+    let (delivery_tx, delivery_rx) = unbounded::<MatchResult>();
+    let mut system = Ps2StreamBuilder::new(SystemConfig {
+        num_dispatchers: 1,
+        num_workers: 4,
+        num_mergers: 1,
+        ..SystemConfig::default()
+    })
+    .with_partitioner(Box::new(HybridPartitioner::default()))
+    .with_calibration_sample(sample.clone())
+    .with_delivery(delivery_tx)
+    .start();
+    for q in sample.insertions() {
+        system.send(StreamRecord::Update(QueryUpdate::Insert(q.clone())));
+    }
+    let (deleted, kept): (Vec<_>, Vec<_>) = sample
+        .insertions()
+        .iter()
+        .enumerate()
+        .partition(|(i, _)| i % 2 == 0);
+    for (_, q) in &deleted {
+        system.send(StreamRecord::Update(QueryUpdate::Delete((*q).clone())));
+    }
+    for o in sample.objects() {
+        system.send(StreamRecord::Object(o.clone()));
+    }
+    let report = system.finish();
+    let delivered: HashSet<(QueryId, ObjectId)> = delivery_rx
+        .try_iter()
+        .map(|m| (m.query_id, m.object_id))
+        .collect();
+    let mut expected = HashSet::new();
+    for o in sample.objects() {
+        for (_, q) in &kept {
+            if q.matches(o) {
+                expected.insert((q.id, o.id));
+            }
+        }
+    }
+    assert_eq!(delivered, expected);
+    let deleted_ids: HashSet<QueryId> = deleted.iter().map(|(_, q)| q.id).collect();
+    assert!(delivered.iter().all(|(q, _)| !deleted_ids.contains(q)));
+    assert!(report.records_in > 0);
+}
+
+#[test]
+fn scaling_the_worker_count_does_not_change_the_results() {
+    let sample =
+        ps2stream_workload::build_sample(DatasetSpec::tweets_us(), QueryClass::Q3, 700, 120, 17);
+    let expected = brute_force(&sample);
+    for workers in [1usize, 2, 8, 16] {
+        let (delivered, _) = run_system(Box::new(HybridPartitioner::default()), &sample, workers);
+        assert_eq!(delivered, expected, "workers = {workers}");
+    }
+}
