@@ -97,11 +97,9 @@ impl GlobalAdjuster {
             return GlobalDecision::Keep;
         }
         let mut current_clone = current.clone();
-        let current_summary =
-            evaluate_distribution(&mut current_clone, sample, self.config.costs);
+        let current_summary = evaluate_distribution(&mut current_clone, sample, self.config.costs);
         let mut candidate = partitioner.partition(sample, num_workers);
-        let candidate_summary =
-            evaluate_distribution(&mut candidate, sample, self.config.costs);
+        let candidate_summary = evaluate_distribution(&mut candidate, sample, self.config.costs);
 
         let cur_load = current_summary.total_load();
         let new_load = candidate_summary.total_load();
@@ -259,7 +257,12 @@ mod tests {
         let partitioner = KdTreePartitioner::default();
         let sample = clustered_sample(5.0);
         let table = partitioner.partition(&sample, 4);
-        let empty = WorkloadSample::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), vec![], vec![], vec![]);
+        let empty = WorkloadSample::new(
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            vec![],
+            vec![],
+            vec![],
+        );
         let adj = GlobalAdjuster::new(GlobalAdjusterConfig::default());
         assert!(matches!(
             adj.check(&table, &partitioner, &empty, 4),

@@ -27,8 +27,8 @@ pub use migration::{
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use ps2stream_geo::CellId;
     use proptest::prelude::*;
+    use ps2stream_geo::CellId;
 
     fn arb_cells() -> impl Strategy<Value = Vec<MigrationCell>> {
         proptest::collection::vec((0.0f64..500.0, 1u64..100_000), 1..60).prop_map(|v| {

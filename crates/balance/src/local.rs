@@ -227,11 +227,7 @@ impl LocalAdjuster {
 
     /// Plans a local adjustment moving load from `overloaded` to
     /// `underloaded` (Phases I and II).
-    pub fn plan(
-        &self,
-        overloaded: &WorkerLoadInfo,
-        underloaded: &WorkerLoadInfo,
-    ) -> MigrationPlan {
+    pub fn plan(&self, overloaded: &WorkerLoadInfo, underloaded: &WorkerLoadInfo) -> MigrationPlan {
         let mut plan = MigrationPlan::default();
         let lo = overloaded.total_load();
         let ll = underloaded.total_load();
@@ -241,14 +237,16 @@ impl LocalAdjuster {
 
         // ---------------- Phase I ----------------
         let mut top: Vec<&CellLoadInfo> = overloaded.cells.iter().collect();
-        top.sort_by(|a, b| b.load().partial_cmp(&a.load()).unwrap_or(std::cmp::Ordering::Equal));
+        top.sort_by(|a, b| {
+            b.load()
+                .partial_cmp(&a.load())
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut phase1_cells_used: Vec<CellId> = Vec::new();
         for cell in top.iter().take(self.config.phase1_cells) {
             if cell.text_split {
                 // candidate for merging with the counterpart cell on w_l
-                if let Some(counterpart) =
-                    underloaded.cells.iter().find(|c| c.cell == cell.cell)
-                {
+                if let Some(counterpart) = underloaded.cells.iter().find(|c| c.cell == cell.cell) {
                     if merge_reduces_load(cell, counterpart, self.config.min_gain) {
                         plan.moves.push(MigrationMove::MergeCell {
                             cell: cell.cell,
@@ -357,16 +355,15 @@ fn merge_reduces_load(ours: &CellLoadInfo, theirs: &CellLoadInfo, min_gain: f64)
     // separate: each share pays its own matching load plus one object
     // delivery per object it receives (the c2 term of Definition 1, which is
     // what duplication inflates)
-    let separate =
-        ours.load() + theirs.load() + (ours.objects + theirs.objects) as f64;
+    let separate = ours.load() + theirs.load() + (ours.objects + theirs.objects) as f64;
     if separate <= 0.0 {
         return false;
     }
     // merged: objects are delivered once (bounded by the larger share's
     // object count), queries add up
     let merged_objects = ours.objects.max(theirs.objects);
-    let merged = merged_objects as f64 * (ours.queries + theirs.queries) as f64
-        + merged_objects as f64;
+    let merged =
+        merged_objects as f64 * (ours.queries + theirs.queries) as f64 + merged_objects as f64;
     merged < separate * (1.0 - min_gain)
 }
 
@@ -518,7 +515,11 @@ mod tests {
         let overloaded = WorkerLoadInfo {
             worker: WorkerId(0),
             // extra cells make worker 0 clearly overloaded
-            cells: vec![ours, simple_cell(5, 50, 50, 100), simple_cell(6, 50, 50, 100)],
+            cells: vec![
+                ours,
+                simple_cell(5, 50, 50, 100),
+                simple_cell(6, 50, 50, 100),
+            ],
         };
         let underloaded = WorkerLoadInfo {
             worker: WorkerId(1),

@@ -3,7 +3,9 @@
 //! time with the number of candidate cells.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use ps2stream_balance::{all_selectors, DpSelector, GreedySelector, MigrationCell, MigrationSelector};
+use ps2stream_balance::{
+    all_selectors, DpSelector, GreedySelector, MigrationCell, MigrationSelector,
+};
 use ps2stream_geo::CellId;
 use rand::Rng;
 use rand::SeedableRng;

@@ -23,7 +23,12 @@ fn run_panel(title: &str, class: QueryClass, scale: Scale) {
     }
     print_table(
         title,
-        &["workload", "strategy", "throughput (tuples/s)", "balance Lmax/Lmin"],
+        &[
+            "workload",
+            "strategy",
+            "throughput (tuples/s)",
+            "balance Lmax/Lmin",
+        ],
         &rows,
     );
 }
@@ -31,9 +36,21 @@ fn run_panel(title: &str, class: QueryClass, scale: Scale) {
 fn main() {
     println!("Figure 7: throughput comparison (Metric, kd-tree, Hybrid)");
     println!("(4 dispatchers, 8 workers; PS2_SCALE={})", Scale::factor());
-    run_panel("Figure 7(a): #Queries=5M (Q1)", QueryClass::Q1, Scale::q5m());
-    run_panel("Figure 7(b): #Queries=10M (Q2)", QueryClass::Q2, Scale::q10m());
-    run_panel("Figure 7(c): #Queries=10M (Q3)", QueryClass::Q3, Scale::q10m());
+    run_panel(
+        "Figure 7(a): #Queries=5M (Q1)",
+        QueryClass::Q1,
+        Scale::q5m(),
+    );
+    run_panel(
+        "Figure 7(b): #Queries=10M (Q2)",
+        QueryClass::Q2,
+        Scale::q10m(),
+    );
+    run_panel(
+        "Figure 7(c): #Queries=10M (Q3)",
+        QueryClass::Q3,
+        Scale::q10m(),
+    );
     println!();
     println!(
         "Paper shape: Hybrid has the overall best throughput; on Q1 it tracks the\n\

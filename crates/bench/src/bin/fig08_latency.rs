@@ -24,7 +24,12 @@ fn run_panel(title: &str, class: QueryClass, scale: Scale) {
     }
     print_table(
         title,
-        &["workload", "strategy", "mean latency (ms)", "p99 latency (ms)"],
+        &[
+            "workload",
+            "strategy",
+            "mean latency (ms)",
+            "p99 latency (ms)",
+        ],
         &rows,
     );
 }
@@ -32,9 +37,21 @@ fn run_panel(title: &str, class: QueryClass, scale: Scale) {
 fn main() {
     println!("Figure 8: latency comparison (Metric, kd-tree, Hybrid)");
     println!("(4 dispatchers, 8 workers; PS2_SCALE={})", Scale::factor());
-    run_panel("Figure 8(a): #Queries=5M (Q1)", QueryClass::Q1, Scale::q5m());
-    run_panel("Figure 8(b): #Queries=10M (Q2)", QueryClass::Q2, Scale::q10m());
-    run_panel("Figure 8(c): #Queries=10M (Q3)", QueryClass::Q3, Scale::q10m());
+    run_panel(
+        "Figure 8(a): #Queries=5M (Q1)",
+        QueryClass::Q1,
+        Scale::q5m(),
+    );
+    run_panel(
+        "Figure 8(b): #Queries=10M (Q2)",
+        QueryClass::Q2,
+        Scale::q10m(),
+    );
+    run_panel(
+        "Figure 8(c): #Queries=10M (Q3)",
+        QueryClass::Q3,
+        Scale::q10m(),
+    );
     println!();
     println!(
         "Paper shape: Hybrid has the smallest latency; kd-tree is noticeably slower\n\

@@ -33,9 +33,21 @@ fn run_panel(title: &str, class: QueryClass, scale: Scale) {
 fn main() {
     println!("Figure 9: memory comparison of the dispatchers");
     println!("(4 dispatchers, 8 workers; PS2_SCALE={})", Scale::factor());
-    run_panel("Figure 9(a): #Queries=5M (Q1)", QueryClass::Q1, Scale::q5m());
-    run_panel("Figure 9(b): #Queries=10M (Q2)", QueryClass::Q2, Scale::q10m());
-    run_panel("Figure 9(c): #Queries=10M (Q3)", QueryClass::Q3, Scale::q10m());
+    run_panel(
+        "Figure 9(a): #Queries=5M (Q1)",
+        QueryClass::Q1,
+        Scale::q5m(),
+    );
+    run_panel(
+        "Figure 9(b): #Queries=10M (Q2)",
+        QueryClass::Q2,
+        Scale::q10m(),
+    );
+    run_panel(
+        "Figure 9(c): #Queries=10M (Q3)",
+        QueryClass::Q3,
+        Scale::q10m(),
+    );
     println!();
     println!(
         "Paper shape: kd-tree uses the least dispatcher memory, hybrid the most\n\

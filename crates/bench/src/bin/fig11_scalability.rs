@@ -11,8 +11,7 @@ fn run_panel(title: &str, class: QueryClass, scale: Scale, worker_counts: &[usiz
     let mut rows = Vec::new();
     for &workers in worker_counts {
         for strategy in headline_strategies() {
-            let report =
-                headline_report(DatasetSpec::tweets_uk(), class, strategy, scale, workers);
+            let report = headline_report(DatasetSpec::tweets_uk(), class, strategy, scale, workers);
             rows.push(vec![
                 format!("{workers}"),
                 strategy.to_string(),
@@ -20,7 +19,11 @@ fn run_panel(title: &str, class: QueryClass, scale: Scale, worker_counts: &[usiz
             ]);
         }
     }
-    print_table(title, &["#workers", "strategy", "throughput (tuples/s)"], &rows);
+    print_table(
+        title,
+        &["#workers", "strategy", "throughput (tuples/s)"],
+        &rows,
+    );
 }
 
 fn main() {

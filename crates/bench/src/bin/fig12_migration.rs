@@ -54,7 +54,12 @@ fn main() {
     );
     print_table(
         "Figure 12(b): migration cost and time",
-        &["algorithm", "migration cost (MB)", "migration time (ms)", "#queries moved"],
+        &[
+            "algorithm",
+            "migration cost (MB)",
+            "migration time (ms)",
+            "#queries moved",
+        ],
         &rows_b,
     );
 

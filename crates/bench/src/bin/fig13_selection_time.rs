@@ -40,7 +40,12 @@ fn run_panel(title: &str, queries: usize) {
     }
     print_table(
         title,
-        &["algorithm", "avg selection time (ms)", "#cells selected", "#candidate cells"],
+        &[
+            "algorithm",
+            "avg selection time (ms)",
+            "#cells selected",
+            "#candidate cells",
+        ],
         &rows,
     );
 }
@@ -48,14 +53,8 @@ fn run_panel(title: &str, queries: usize) {
 fn main() {
     println!("Figure 13: average time of selecting cells (STS-US-Q1)");
     println!("(PS2_SCALE={})", Scale::factor());
-    run_panel(
-        "Figure 13(a): #Queries=5M",
-        Scale::q5m().queries,
-    );
-    run_panel(
-        "Figure 13(b): #Queries=10M",
-        Scale::q10m().queries,
-    );
+    run_panel("Figure 13(a): #Queries=5M", Scale::q5m().queries);
+    run_panel("Figure 13(b): #Queries=10M", Scale::q10m().queries);
     println!();
     println!(
         "Paper shape: all three algorithms select cells in a few milliseconds and\n\

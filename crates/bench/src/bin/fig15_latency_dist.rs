@@ -11,7 +11,11 @@ use ps2stream::prelude::*;
 use ps2stream_bench::{print_table, Experiment, Scale};
 
 fn run_panel(title: &str, scale: Scale) {
-    let selectors = [SelectorKind::Greedy, SelectorKind::Size, SelectorKind::Random];
+    let selectors = [
+        SelectorKind::Greedy,
+        SelectorKind::Size,
+        SelectorKind::Random,
+    ];
     let mut rows = Vec::new();
     for selector in selectors {
         let adjustment = AdjustmentConfig {
@@ -39,7 +43,14 @@ fn run_panel(title: &str, scale: Scale) {
     }
     print_table(
         title,
-        &["algorithm", "<100ms", "[100ms,1s]", ">1s", "#cell moves", "migrated (MB)"],
+        &[
+            "algorithm",
+            "<100ms",
+            "[100ms,1s]",
+            ">1s",
+            "#cell moves",
+            "migrated (MB)",
+        ],
         &rows,
     );
 }

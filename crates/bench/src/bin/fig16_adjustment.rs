@@ -70,7 +70,10 @@ fn run(adjust: bool, scale: Scale) -> RunReport {
 
 fn main() {
     println!("Figure 16: the effect of the dynamic load adjustments");
-    println!("(Q3 with drifting regional preferences, GR selector, µ=10M; PS2_SCALE={})", Scale::factor());
+    println!(
+        "(Q3 with drifting regional preferences, GR selector, µ=10M; PS2_SCALE={})",
+        Scale::factor()
+    );
     let scale = Scale::q10m();
     let no_adjust = run(false, scale);
     let adjust = run(true, scale);
@@ -90,7 +93,12 @@ fn main() {
     ];
     print_table(
         "Figure 16: throughput with and without dynamic load adjustment",
-        &["system", "throughput (tuples/s)", "balance Lmax/Lmin", "#cell moves"],
+        &[
+            "system",
+            "throughput (tuples/s)",
+            "balance Lmax/Lmin",
+            "#cell moves",
+        ],
         &rows,
     );
     let gain = if no_adjust.throughput_tps > 0.0 {

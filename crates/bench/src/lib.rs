@@ -303,7 +303,15 @@ mod tests {
 
     #[test]
     fn build_partitioner_knows_every_strategy() {
-        for name in ["Frequency", "Hypergraph", "Metric", "Grid", "kd-tree", "R-tree", "Hybrid"] {
+        for name in [
+            "Frequency",
+            "Hypergraph",
+            "Metric",
+            "Grid",
+            "kd-tree",
+            "R-tree",
+            "Hybrid",
+        ] {
             assert_eq!(build_partitioner(name).name(), name);
         }
     }

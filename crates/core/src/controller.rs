@@ -70,7 +70,9 @@ impl AdjustmentController {
         let (tx, rx) = unbounded::<WorkerStatsReport>();
         let mut expected = 0usize;
         for w in &self.workers {
-            if w.send(WorkerMessage::CollectStats { reply: tx.clone() }).is_ok() {
+            if w.send(WorkerMessage::CollectStats { reply: tx.clone() })
+                .is_ok()
+            {
                 expected += 1;
             }
         }
@@ -118,7 +120,10 @@ impl AdjustmentController {
         if plan.is_empty() {
             return false;
         }
-        self.metrics.migration.rounds.fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .migration
+            .rounds
+            .fetch_add(1, Ordering::Relaxed);
         self.apply_plan(&plan.moves);
         true
     }
@@ -137,7 +142,9 @@ impl AdjustmentController {
                     terms,
                 } => {
                     let term_set: HashSet<_> = terms.iter().copied().collect();
-                    self.routing.write().split_cell_by_terms(*cell, &term_set, *to);
+                    self.routing
+                        .write()
+                        .split_cell_by_terms(*cell, &term_set, *to);
                     self.send_migration(*from, *cell, Some(terms.clone()), *to);
                 }
                 MigrationMove::MergeCell { cell, from, to } => {
@@ -155,7 +162,9 @@ impl AdjustmentController {
                         self.routing.write().reassign_cell(*cell, *to);
                         self.send_migration(*from, *cell, None, *to);
                     } else {
-                        self.routing.write().split_cell_by_terms(*cell, &term_set, *to);
+                        self.routing
+                            .write()
+                            .split_cell_by_terms(*cell, &term_set, *to);
                         self.send_migration(*from, *cell, Some(terms), *to);
                     }
                 }
@@ -211,7 +220,10 @@ mod tests {
 
     fn fake_worker(
         report: WorkerStatsReport,
-    ) -> (Sender<WorkerMessage>, std::thread::JoinHandle<Vec<WorkerMessage>>) {
+    ) -> (
+        Sender<WorkerMessage>,
+        std::thread::JoinHandle<Vec<WorkerMessage>>,
+    ) {
         let (tx, rx) = unbounded::<WorkerMessage>();
         let handle = std::thread::spawn(move || {
             let mut control_messages = Vec::new();
@@ -294,10 +306,9 @@ mod tests {
         assert!(to_w1.is_empty());
         // the routing table now sends at least one cell to worker 1
         let routing = routing.read();
-        let moved = routing
-            .grid()
-            .all_cells()
-            .any(|c| matches!(routing.cell_routing(c), CellRouting::Single(w) if *w == WorkerId(1)));
+        let moved = routing.grid().all_cells().any(
+            |c| matches!(routing.cell_routing(c), CellRouting::Single(w) if *w == WorkerId(1)),
+        );
         assert!(moved);
     }
 

@@ -80,7 +80,9 @@ impl Operator for Dispatcher {
             // Discarded at the dispatcher (object with no registered keyword
             // in its cell): the tuple is complete, record its latency.
             if input.payload.is_object() {
-                self.metrics.discarded_objects.fetch_add(1, Ordering::Relaxed);
+                self.metrics
+                    .discarded_objects
+                    .fetch_add(1, Ordering::Relaxed);
             }
             self.metrics.latency.record(input.latency());
             self.metrics.throughput.record(1);
@@ -91,7 +93,10 @@ impl Operator for Dispatcher {
             return;
         }
         for w in workers {
-            emitter.emit_to(w.index(), WorkerMessage::Record(input.derive(input.payload.clone())));
+            emitter.emit_to(
+                w.index(),
+                WorkerMessage::Record(input.derive(input.payload.clone())),
+            );
         }
     }
 }
@@ -100,7 +105,9 @@ impl Operator for Dispatcher {
 mod tests {
     use super::*;
     use ps2stream_geo::{Point, Rect};
-    use ps2stream_model::{ObjectId, QueryId, SpatioTextualObject, StsQuery, SubscriberId, WorkerId};
+    use ps2stream_model::{
+        ObjectId, QueryId, SpatioTextualObject, StsQuery, SubscriberId, WorkerId,
+    };
     use ps2stream_partition::{CellRouting, RoutingTable};
     use ps2stream_stream::bounded;
     use ps2stream_text::{BooleanExpr, TermId, TermStats};
@@ -183,8 +190,13 @@ mod tests {
         // new table sends everything to worker 0; old table to worker 1
         let grid = ps2stream_geo::UniformGrid::new(Rect::from_coords(0.0, 0.0, 16.0, 16.0), 4, 4);
         let new_cells = vec![CellRouting::Single(WorkerId(0)); grid.num_cells()];
-        let mut new_table =
-            RoutingTable::new(grid.clone(), new_cells, 2, Arc::new(TermStats::new()), "new");
+        let mut new_table = RoutingTable::new(
+            grid.clone(),
+            new_cells,
+            2,
+            Arc::new(TermStats::new()),
+            "new",
+        );
         let old_cells = vec![CellRouting::Single(WorkerId(1)); grid.num_cells()];
         let mut old_table =
             RoutingTable::new(grid, old_cells, 2, Arc::new(TermStats::new()), "old");

@@ -70,7 +70,11 @@ mod tests {
     fn worker_message_variants_construct() {
         let record = WorkerMessage::Record(Envelope::now(
             0,
-            StreamRecord::Object(SpatioTextualObject::new(ObjectId(1), vec![], Point::origin())),
+            StreamRecord::Object(SpatioTextualObject::new(
+                ObjectId(1),
+                vec![],
+                Point::origin(),
+            )),
         ));
         assert!(matches!(record, WorkerMessage::Record(_)));
         let migrate = WorkerMessage::MigrateCell {

@@ -17,10 +17,8 @@ use crate::worker::Worker;
 use parking_lot::RwLock;
 use ps2stream_index::{Gi2Config, Gi2Index};
 use ps2stream_model::{MatchResult, StreamRecord};
-use ps2stream_partition::{
-    HybridPartitioner, Partitioner, RoutingTable, WorkloadSample,
-};
-use ps2stream_stream::{bounded, unbounded, run_operator, Emitter, Envelope, Sender};
+use ps2stream_partition::{HybridPartitioner, Partitioner, RoutingTable, WorkloadSample};
+use ps2stream_stream::{bounded, run_operator, unbounded, Emitter, Envelope, Sender};
 use ps2stream_text::TermStats;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -122,7 +120,10 @@ impl RunningSystem {
         delivery: Option<Sender<MatchResult>>,
     ) -> Self {
         assert!(config.num_workers > 0, "at least one worker is required");
-        assert!(config.num_dispatchers > 0, "at least one dispatcher is required");
+        assert!(
+            config.num_dispatchers > 0,
+            "at least one dispatcher is required"
+        );
         assert!(config.num_mergers > 0, "at least one merger is required");
         let metrics = SystemMetrics::new(config.num_workers);
         let bounds = routing.grid().bounds();
@@ -164,9 +165,8 @@ impl RunningSystem {
         // workers
         let mut workers = Vec::with_capacity(config.num_workers);
         for (i, rx) in worker_rxs.into_iter().enumerate() {
-            let mut index = Gi2Index::new(
-                Gi2Config::new(bounds).with_granularity_exp(config.grid_exp),
-            );
+            let mut index =
+                Gi2Index::new(Gi2Config::new(bounds).with_granularity_exp(config.grid_exp));
             if let Some(stats) = &seed_stats {
                 index.set_term_stats(stats.clone());
             }

@@ -88,7 +88,12 @@ impl Worker {
         }
     }
 
-    fn handle_migrate_out(&mut self, cell: ps2stream_geo::CellId, terms: Option<Vec<TermId>>, to: WorkerId) {
+    fn handle_migrate_out(
+        &mut self,
+        cell: ps2stream_geo::CellId,
+        terms: Option<Vec<TermId>>,
+        to: WorkerId,
+    ) {
         let start = Instant::now();
         let queries = match &terms {
             None => self.index.extract_cell(cell),
@@ -164,7 +169,8 @@ impl Worker {
             memory_bytes: self.index.memory_usage(),
         };
         // cumulative accounting, then reset the period
-        self.metrics.add_worker_load(self.id.index(), &self.period_load);
+        self.metrics
+            .add_worker_load(self.id.index(), &self.period_load);
         self.period_load = WorkerLoad::default();
         self.index.reset_load_counters();
         report
@@ -187,7 +193,8 @@ impl Worker {
             }
         }
         // final accounting
-        self.metrics.add_worker_load(self.id.index(), &self.period_load);
+        self.metrics
+            .add_worker_load(self.id.index(), &self.period_load);
         self.period_load = WorkerLoad::default();
         self.metrics
             .set_worker_memory(self.id.index(), self.index.memory_usage());
@@ -205,7 +212,9 @@ mod tests {
     use ps2stream_text::BooleanExpr;
 
     fn gi2() -> Gi2Index {
-        Gi2Index::new(Gi2Config::new(Rect::from_coords(0.0, 0.0, 16.0, 16.0)).with_granularity_exp(3))
+        Gi2Index::new(
+            Gi2Config::new(Rect::from_coords(0.0, 0.0, 16.0, 16.0)).with_granularity_exp(3),
+        )
     }
 
     fn query(id: u64, term: u32, region: Rect) -> StsQuery {
@@ -322,7 +331,11 @@ mod tests {
         )))
         .unwrap();
         // migrate the cell containing (1,1) to worker B
-        let cell = worker_a.index().grid().cell_of(&Point::new(1.0, 1.0)).unwrap();
+        let cell = worker_a
+            .index()
+            .grid()
+            .cell_of(&Point::new(1.0, 1.0))
+            .unwrap();
         tx_a.send(WorkerMessage::MigrateCell {
             cell,
             terms: None,

@@ -45,7 +45,10 @@ impl UniformGrid {
     /// Panics if `nx` or `ny` is zero or if `bounds` is empty.
     pub fn new(bounds: Rect, nx: u32, ny: u32) -> Self {
         assert!(nx > 0 && ny > 0, "UniformGrid requires nx > 0 and ny > 0");
-        assert!(!bounds.is_empty(), "UniformGrid requires a non-empty bounding rectangle");
+        assert!(
+            !bounds.is_empty(),
+            "UniformGrid requires a non-empty bounding rectangle"
+        );
         Self {
             bounds,
             nx,
@@ -135,8 +138,7 @@ impl UniformGrid {
         };
         let lo = self.cell_of_clamped(&clipped.min);
         let hi = self.cell_of_clamped(&clipped.max);
-        let mut out =
-            Vec::with_capacity(((hi.col - lo.col + 1) * (hi.row - lo.row + 1)) as usize);
+        let mut out = Vec::with_capacity(((hi.col - lo.col + 1) * (hi.row - lo.row + 1)) as usize);
         for row in lo.row..=hi.row {
             for col in lo.col..=hi.col {
                 out.push(CellId::new(col, row));
@@ -198,7 +200,10 @@ mod tests {
         assert_eq!(g.cell_of(&Point::new(4.0, 4.0)), Some(CellId::new(3, 3)));
         assert_eq!(g.cell_of(&Point::new(-0.1, 0.5)), None);
         assert_eq!(g.cell_of(&Point::new(0.5, 4.1)), None);
-        assert_eq!(g.cell_of_clamped(&Point::new(-5.0, 100.0)), CellId::new(0, 3));
+        assert_eq!(
+            g.cell_of_clamped(&Point::new(-5.0, 100.0)),
+            CellId::new(0, 3)
+        );
     }
 
     #[test]
@@ -241,7 +246,8 @@ mod tests {
             .is_empty());
         // rectangle covering the whole grid
         assert_eq!(
-            g.cells_overlapping(&Rect::from_coords(-1.0, -1.0, 5.0, 5.0)).len(),
+            g.cells_overlapping(&Rect::from_coords(-1.0, -1.0, 5.0, 5.0))
+                .len(),
             16
         );
     }

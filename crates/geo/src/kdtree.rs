@@ -105,8 +105,14 @@ impl KdTree {
         target_leaves: usize,
         axis: SplitAxis,
     ) -> Self {
-        assert!(target_leaves > 0, "KdTree::build requires target_leaves > 0");
-        assert!(!bounds.is_empty(), "KdTree::build requires non-empty bounds");
+        assert!(
+            target_leaves > 0,
+            "KdTree::build requires target_leaves > 0"
+        );
+        assert!(
+            !bounds.is_empty(),
+            "KdTree::build requires non-empty bounds"
+        );
         let mut pts: Vec<WeightedPoint> = samples
             .iter()
             .copied()
@@ -140,7 +146,11 @@ impl KdTree {
             match node {
                 KdNode::Leaf { .. } => return Some(leaf_index),
                 KdNode::Internal {
-                    dim, value, low, high, ..
+                    dim,
+                    value,
+                    low,
+                    high,
+                    ..
                 } => {
                     if p.coord(*dim) < *value {
                         node = low;
@@ -206,16 +216,25 @@ fn build_recursive(
     } else {
         0.5
     };
-    let low_leaves = ((target_leaves as f64 * frac).round() as usize)
-        .clamp(1, target_leaves - 1);
+    let low_leaves = ((target_leaves as f64 * frac).round() as usize).clamp(1, target_leaves - 1);
     let high_leaves = target_leaves - low_leaves;
     KdNode::Internal {
         rect,
         dim,
         value,
-        low: Box::new(build_recursive(low_rect, low_pts, low_leaves, depth + 1, axis)),
+        low: Box::new(build_recursive(
+            low_rect,
+            low_pts,
+            low_leaves,
+            depth + 1,
+            axis,
+        )),
         high: Box::new(build_recursive(
-            high_rect, high_pts, high_leaves, depth + 1, axis,
+            high_rect,
+            high_pts,
+            high_leaves,
+            depth + 1,
+            axis,
         )),
     }
 }
@@ -274,7 +293,11 @@ fn partition_in_place(pts: &mut [WeightedPoint], dim: usize, value: f64) -> usiz
 
 fn collect_leaves(node: &KdNode, out: &mut Vec<LeafRegion>) {
     match node {
-        KdNode::Leaf { rect, weight, count } => out.push(LeafRegion {
+        KdNode::Leaf {
+            rect,
+            weight,
+            count,
+        } => out.push(LeafRegion {
             rect: *rect,
             weight: *weight,
             count: *count,
@@ -301,7 +324,9 @@ fn overlap_recursive(node: &KdNode, rect: &Rect, next_leaf: &mut usize, out: &mu
             }
             *next_leaf += 1;
         }
-        KdNode::Internal { rect: r, low, high, .. } => {
+        KdNode::Internal {
+            rect: r, low, high, ..
+        } => {
             if !r.intersects(rect) {
                 *next_leaf += count_leaves(node);
                 return;
@@ -398,10 +423,16 @@ mod tests {
         // heavy cluster on the left, light cluster on the right
         let mut samples = Vec::new();
         for i in 0..90 {
-            samples.push(WeightedPoint::new(Point::new(1.0 + (i % 10) as f64 * 0.1, 5.0), 1.0));
+            samples.push(WeightedPoint::new(
+                Point::new(1.0 + (i % 10) as f64 * 0.1, 5.0),
+                1.0,
+            ));
         }
         for i in 0..10 {
-            samples.push(WeightedPoint::new(Point::new(9.0 + (i % 10) as f64 * 0.05, 5.0), 1.0));
+            samples.push(WeightedPoint::new(
+                Point::new(9.0 + (i % 10) as f64 * 0.05, 5.0),
+                1.0,
+            ));
         }
         let tree = KdTree::build(bounds, &samples, 2, SplitAxis::Alternate);
         assert_eq!(tree.leaves().len(), 2);

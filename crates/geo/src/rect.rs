@@ -282,7 +282,10 @@ mod tests {
         let c = Rect::from_coords(5.0, 5.0, 6.0, 6.0);
         assert!(a.intersects(&b));
         assert!(!a.intersects(&c));
-        assert_eq!(a.intersection(&b), Some(Rect::from_coords(1.0, 1.0, 2.0, 2.0)));
+        assert_eq!(
+            a.intersection(&b),
+            Some(Rect::from_coords(1.0, 1.0, 2.0, 2.0))
+        );
         assert_eq!(a.intersection(&c), None);
         // touching edges count as intersecting
         let d = Rect::from_coords(2.0, 0.0, 4.0, 2.0);

@@ -26,8 +26,14 @@ impl<T> RTreeEntry<T> {
 
 #[derive(Debug, Clone)]
 enum Node<T> {
-    Leaf { rect: Rect, entries: Vec<RTreeEntry<T>> },
-    Internal { rect: Rect, children: Vec<Node<T>> },
+    Leaf {
+        rect: Rect,
+        entries: Vec<RTreeEntry<T>>,
+    },
+    Internal {
+        rect: Rect,
+        children: Vec<Node<T>>,
+    },
 }
 
 impl<T> Node<T> {
@@ -137,10 +143,7 @@ impl<T: Clone> RTree<T> {
 }
 
 /// Packs entries into leaf nodes using Sort-Tile-Recursive.
-fn str_pack_leaves<T: Clone>(
-    entries: &mut [RTreeEntry<T>],
-    node_capacity: usize,
-) -> Vec<Node<T>> {
+fn str_pack_leaves<T: Clone>(entries: &mut [RTreeEntry<T>], node_capacity: usize) -> Vec<Node<T>> {
     let n = entries.len();
     let leaf_count = n.div_ceil(node_capacity);
     let num_slices = (leaf_count as f64).sqrt().ceil() as usize;
@@ -261,7 +264,9 @@ mod tests {
         assert!(tree.is_empty());
         assert_eq!(tree.len(), 0);
         assert!(tree.bounds().is_empty());
-        assert!(tree.query_rect(&Rect::from_coords(0.0, 0.0, 1.0, 1.0)).is_empty());
+        assert!(tree
+            .query_rect(&Rect::from_coords(0.0, 0.0, 1.0, 1.0))
+            .is_empty());
         assert!(tree.leaf_summaries().is_empty());
     }
 

@@ -175,8 +175,8 @@ impl CellIndex {
         std::mem::size_of::<Self>()
             + self
                 .postings
-                .iter()
-                .map(|(_, v)| {
+                .values()
+                .map(|v| {
                     std::mem::size_of::<TermId>()
                         + std::mem::size_of::<Vec<QueryId>>()
                         + v.len() * std::mem::size_of::<QueryId>()

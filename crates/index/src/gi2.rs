@@ -222,11 +222,7 @@ impl Gi2Index {
                 };
                 self.matches_checked += 1;
                 if stored.query.matches(object) {
-                    results.push(MatchResult::new(
-                        qid,
-                        stored.query.subscriber,
-                        object.id,
-                    ));
+                    results.push(MatchResult::new(qid, stored.query.subscriber, object.id));
                 }
             }
         }
@@ -416,7 +412,11 @@ mod tests {
     #[test]
     fn or_query_matches_any_keyword() {
         let mut idx = Gi2Index::new(config());
-        idx.insert(or_query(1, &[5, 6], Rect::from_coords(0.0, 0.0, 64.0, 64.0)));
+        idx.insert(or_query(
+            1,
+            &[5, 6],
+            Rect::from_coords(0.0, 0.0, 64.0, 64.0),
+        ));
         assert_eq!(idx.match_object(&object(1, &[5], 1.0, 1.0)).len(), 1);
         assert_eq!(idx.match_object(&object(2, &[6], 60.0, 60.0)).len(), 1);
         assert_eq!(idx.match_object(&object(3, &[7], 1.0, 1.0)).len(), 0);
@@ -543,7 +543,11 @@ mod tests {
         let mut idx = Gi2Index::new(config());
         let base = idx.memory_usage();
         for i in 0..100 {
-            idx.insert(query(i, &[(i % 10) as u32], Rect::from_coords(0.0, 0.0, 20.0, 20.0)));
+            idx.insert(query(
+                i,
+                &[(i % 10) as u32],
+                Rect::from_coords(0.0, 0.0, 20.0, 20.0),
+            ));
         }
         assert!(idx.memory_usage() > base);
     }

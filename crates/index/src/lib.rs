@@ -18,10 +18,10 @@ pub use gi2::{CellLoadStat, Gi2Config, Gi2Index};
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use proptest::prelude::*;
     use ps2stream_geo::{Point, Rect};
     use ps2stream_model::{ObjectId, QueryId, SpatioTextualObject, StsQuery, SubscriberId};
     use ps2stream_text::{BooleanExpr, TermId};
-    use proptest::prelude::*;
 
     #[derive(Debug, Clone)]
     struct GenQuery {

@@ -18,9 +18,9 @@ pub use record::{DispatcherId, MatchResult, StreamRecord, WorkerId};
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use proptest::prelude::*;
     use ps2stream_geo::{Point, Rect};
     use ps2stream_text::{BooleanExpr, TermId};
-    use proptest::prelude::*;
 
     fn arb_terms() -> impl Strategy<Value = Vec<TermId>> {
         proptest::collection::vec((0u32..40).prop_map(TermId), 0..15)

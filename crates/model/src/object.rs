@@ -104,8 +104,8 @@ mod tests {
 
     #[test]
     fn timestamp_builder() {
-        let o = SpatioTextualObject::new(ObjectId(1), vec![], Point::origin())
-            .with_timestamp(123_456);
+        let o =
+            SpatioTextualObject::new(ObjectId(1), vec![], Point::origin()).with_timestamp(123_456);
         assert_eq!(o.timestamp_us, 123_456);
     }
 

@@ -50,8 +50,7 @@ impl StsQuery {
     /// location lies inside `q.R` and the object text satisfies `q.K`
     /// (Section III-A, matching semantics).
     pub fn matches(&self, object: &SpatioTextualObject) -> bool {
-        self.region.contains_point(&object.location)
-            && self.keywords.matches_sorted(&object.terms)
+        self.region.contains_point(&object.location) && self.keywords.matches_sorted(&object.terms)
     }
 
     /// Approximate heap footprint in bytes. This is the per-query size `S_g`

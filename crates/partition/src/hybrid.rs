@@ -128,7 +128,10 @@ impl Partitioner for HybridPartitioner {
     }
 
     fn partition(&self, sample: &WorkloadSample, num_workers: usize) -> RoutingTable {
-        assert!(num_workers > 0, "hybrid partitioning requires at least one worker");
+        assert!(
+            num_workers > 0,
+            "hybrid partitioning requires at least one worker"
+        );
         let cfg = &self.config;
         let grid = UniformGrid::with_power_of_two(sample.bounds(), cfg.grid_exp);
         let stats: Arc<TermStats> = Arc::new(sample.object_stats().clone());
@@ -189,7 +192,15 @@ impl Partitioner for HybridPartitioner {
             units.extend(replacements);
         };
 
-        build_routing_table(sample, grid, &units, &assignment, num_workers, stats, self.name())
+        build_routing_table(
+            sample,
+            grid,
+            &units,
+            &assignment,
+            num_workers,
+            stats,
+            self.name(),
+        )
     }
 }
 
@@ -210,11 +221,7 @@ fn text_similarity(sample: &WorkloadSample, objects: &[usize], queries: &[usize]
 }
 
 /// Splits a node's contents at the spatial median of its objects along `dim`.
-fn split_node_contents(
-    sample: &WorkloadSample,
-    node: &Node,
-    dim: usize,
-) -> Option<(Node, Node)> {
+fn split_node_contents(sample: &WorkloadSample, node: &Node, dim: usize) -> Option<(Node, Node)> {
     if node.objects.len() < 2 {
         return None;
     }
@@ -353,8 +360,8 @@ fn compute_number_partitions(
     // C[i][k] = total load after partitioning node i into k+1 parts
     let mut c = vec![vec![f64::INFINITY; max_k + 1]; n];
     for (i, node) in nodes.iter().enumerate() {
-        for k in 1..=max_k {
-            c[i][k] = partition_node_cost(sample, node, k, cfg);
+        for (k, cost) in c[i].iter_mut().enumerate().skip(1) {
+            *cost = partition_node_cost(sample, node, k, cfg);
         }
     }
     // L[i][j] = minimal load partitioning the first i nodes into j partitions
@@ -598,11 +605,7 @@ fn text_partition_node_restricted(
 /// would worsen the balance factor, in which case it goes to the currently
 /// lightest worker (which is the same destination under additive loads, kept
 /// as two explicit steps to mirror the paper's description).
-fn merge_units_into_partitions(
-    units: &[Unit],
-    m: usize,
-    cfg: &HybridConfig,
-) -> Vec<WorkerId> {
+fn merge_units_into_partitions(units: &[Unit], m: usize, cfg: &HybridConfig) -> Vec<WorkerId> {
     let mut order: Vec<usize> = (0..units.len()).collect();
     order.sort_by(|&a, &b| {
         units[b]
@@ -739,7 +742,11 @@ mod tests {
         for i in 0..80u64 {
             let x = (i % 25) as f64 + 2.0;
             let y = (i % 50) as f64 + 2.0;
-            queries.push(qry(id, &[(100 + i % 10) as u32], Rect::square(Point::new(x, y), 25.0)));
+            queries.push(qry(
+                id,
+                &[(100 + i % 10) as u32],
+                Rect::square(Point::new(x, y), 25.0),
+            ));
             id += 1;
         }
         // region r2: x in [32, 64): objects and queries share terms 200..220,
@@ -755,7 +762,11 @@ mod tests {
         for i in 0..40u64 {
             let x = 34.0 + (i % 28) as f64;
             let y = (i % 55) as f64 + 2.0;
-            queries.push(qry(id, &[(200 + i % 20) as u32], Rect::square(Point::new(x, y), 3.0)));
+            queries.push(qry(
+                id,
+                &[(200 + i % 20) as u32],
+                Rect::square(Point::new(x, y), 3.0),
+            ));
             id += 1;
         }
         WorkloadSample::from_objects_and_queries(bounds, objects, queries)
@@ -812,9 +823,8 @@ mod tests {
         // should beat the worse one.
         let sample = figure2_sample();
         let costs = CostConstants::default();
-        let load_of = |mut t: RoutingTable| {
-            evaluate_distribution(&mut t, &sample, costs).total_load()
-        };
+        let load_of =
+            |mut t: RoutingTable| evaluate_distribution(&mut t, &sample, costs).total_load();
         let hybrid = load_of(HybridPartitioner::default().partition(&sample, 8));
         let kd = load_of(KdTreePartitioner::default().partition(&sample, 8));
         let metric = load_of(MetricPartitioner::default().partition(&sample, 8));
@@ -853,7 +863,12 @@ mod tests {
         let sample = figure2_sample();
         let table = HybridPartitioner::default().partition(&sample, 1);
         assert_eq!(table.num_workers(), 1);
-        let empty = WorkloadSample::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), vec![], vec![], vec![]);
+        let empty = WorkloadSample::new(
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            vec![],
+            vec![],
+            vec![],
+        );
         let table = HybridPartitioner::default().partition(&empty, 4);
         assert_eq!(table.num_workers(), 4);
     }

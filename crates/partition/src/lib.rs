@@ -42,10 +42,12 @@ pub fn all_partitioners() -> Vec<Box<dyn Partitioner>> {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use ps2stream_geo::{Point, Rect};
-    use ps2stream_model::{ObjectId, QueryId, SpatioTextualObject, StsQuery, SubscriberId, WorkerId};
-    use ps2stream_text::{BooleanExpr, TermId};
     use proptest::prelude::*;
+    use ps2stream_geo::{Point, Rect};
+    use ps2stream_model::{
+        ObjectId, QueryId, SpatioTextualObject, StsQuery, SubscriberId, WorkerId,
+    };
+    use ps2stream_text::{BooleanExpr, TermId};
 
     fn arb_object(id: u64) -> impl Strategy<Value = SpatioTextualObject> {
         (

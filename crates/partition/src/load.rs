@@ -100,7 +100,10 @@ impl DistributionSummary {
 
     /// Per-worker scalar loads (Definition 1).
     pub fn loads(&self) -> Vec<f64> {
-        self.per_worker.iter().map(|w| w.load(&self.costs)).collect()
+        self.per_worker
+            .iter()
+            .map(|w| w.load(&self.costs))
+            .collect()
     }
 
     /// Total load across all workers (the quantity the Optimal Workload

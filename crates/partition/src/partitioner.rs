@@ -56,7 +56,10 @@ pub fn evaluate_distribution(
 /// to the currently lightest bin (classic LPT scheduling). Returns the bin
 /// (worker) index of every item, in the original item order.
 pub fn balanced_assignment(weights: &[f64], num_workers: usize) -> Vec<WorkerId> {
-    assert!(num_workers > 0, "balanced_assignment requires at least one worker");
+    assert!(
+        num_workers > 0,
+        "balanced_assignment requires at least one worker"
+    );
     let mut order: Vec<usize> = (0..weights.len()).collect();
     order.sort_by(|&a, &b| {
         weights[b]
@@ -130,12 +133,15 @@ mod tests {
         let bounds = Rect::from_coords(0.0, 0.0, 16.0, 16.0);
         let sample = WorkloadSample::new(
             bounds,
-            vec![obj(1, &[1], 1.0, 1.0), obj(2, &[1], 15.0, 15.0), obj(3, &[9], 1.0, 1.0)],
+            vec![
+                obj(1, &[1], 1.0, 1.0),
+                obj(2, &[1], 15.0, 15.0),
+                obj(3, &[9], 1.0, 1.0),
+            ],
             vec![qry(1, &[1], Rect::from_coords(0.0, 0.0, 16.0, 16.0))],
             vec![qry(2, &[1], Rect::from_coords(0.0, 0.0, 2.0, 2.0))],
         );
-        let mut table =
-            RoutingTable::single_worker(bounds, 2, Arc::new(TermStats::new()));
+        let mut table = RoutingTable::single_worker(bounds, 2, Arc::new(TermStats::new()));
         let summary = evaluate_distribution(&mut table, &sample, CostConstants::default());
         assert_eq!(summary.per_worker.len(), 1);
         // the query spans the whole space -> 1 insertion; objects with term 1

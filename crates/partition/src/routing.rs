@@ -65,7 +65,8 @@ impl TermRouting {
     /// Approximate memory footprint in bytes.
     pub fn memory_usage(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.map.len() * (std::mem::size_of::<TermId>() + std::mem::size_of::<WorkerId>() + 16)
+            + self.map.len()
+                * (std::mem::size_of::<TermId>() + std::mem::size_of::<WorkerId>() + 16)
     }
 
     /// Distinct workers referenced by the mapping (including the default).
@@ -287,7 +288,9 @@ impl RoutingTable {
         let idx = self.grid.cell_index(cell);
         let mut out: HashMap<WorkerId, Vec<TermId>> = HashMap::new();
         for &t in &self.query_terms[idx] {
-            out.entry(self.cells[idx].worker_for(t)).or_default().push(t);
+            out.entry(self.cells[idx].worker_for(t))
+                .or_default()
+                .push(t);
         }
         out
     }
@@ -322,7 +325,10 @@ impl RoutingTable {
         if self.cells.is_empty() {
             return 0.0;
         }
-        self.cells.iter().filter(|c| c.is_text_partitioned()).count() as f64
+        self.cells
+            .iter()
+            .filter(|c| c.is_text_partitioned())
+            .count() as f64
             / self.cells.len() as f64
     }
 }

@@ -191,7 +191,9 @@ mod tests {
             vec![],
         );
         assert!(s.bounds().contains_point(&Point::new(5.0, 5.0)));
-        assert!(s.bounds().contains_rect(&Rect::from_coords(-2.0, -2.0, -1.0, -1.0)));
+        assert!(s
+            .bounds()
+            .contains_rect(&Rect::from_coords(-2.0, -2.0, -1.0, -1.0)));
     }
 
     #[test]
@@ -216,12 +218,20 @@ mod tests {
         assert!(s.text_similarity_in(&left) > 0.5);
         assert!((s.text_similarity_in(&right) - 1.0).abs() < 1e-9);
         // empty region -> zero similarity
-        assert_eq!(s.text_similarity_in(&Rect::from_coords(4.0, 4.0, 5.0, 5.0)), 0.0);
+        assert_eq!(
+            s.text_similarity_in(&Rect::from_coords(4.0, 4.0, 5.0, 5.0)),
+            0.0
+        );
     }
 
     #[test]
     fn empty_sample() {
-        let s = WorkloadSample::new(Rect::from_coords(0.0, 0.0, 1.0, 1.0), vec![], vec![], vec![]);
+        let s = WorkloadSample::new(
+            Rect::from_coords(0.0, 0.0, 1.0, 1.0),
+            vec![],
+            vec![],
+            vec![],
+        );
         assert!(s.is_empty());
         assert_eq!(s.text_similarity_in(&s.bounds()), 0.0);
     }

@@ -18,7 +18,9 @@ use crate::partitioner::{balanced_assignment, Partitioner};
 use crate::routing::{CellRouting, RoutingTable};
 use crate::sample::WorkloadSample;
 use crate::text::DEFAULT_GRID_EXP;
-use ps2stream_geo::{KdTree, Point, RTree, RTreeEntry, Rect, SplitAxis, UniformGrid, WeightedPoint};
+use ps2stream_geo::{
+    KdTree, Point, RTree, RTreeEntry, Rect, SplitAxis, UniformGrid, WeightedPoint,
+};
 use ps2stream_model::WorkerId;
 use ps2stream_text::TermStats;
 use std::sync::Arc;
@@ -261,7 +263,11 @@ mod tests {
         assert!(total_obj <= sample.objects().len() as u64);
         // the object load should be spread over several workers
         let busy = summary.per_worker.iter().filter(|w| w.objects > 0).count();
-        assert!(busy >= 2, "{}: objects concentrated on {busy} worker(s)", p.name());
+        assert!(
+            busy >= 2,
+            "{}: objects concentrated on {busy} worker(s)",
+            p.name()
+        );
     }
 
     #[test]

@@ -319,7 +319,12 @@ mod tests {
         assert!(total_ins >= sample.insertions().len() as u64);
         // all four workers must receive some queries
         assert!(
-            summary.per_worker.iter().filter(|w| w.insertions > 0).count() >= 2,
+            summary
+                .per_worker
+                .iter()
+                .filter(|w| w.insertions > 0)
+                .count()
+                >= 2,
             "{}: query load concentrated on too few workers",
             p.name()
         );

@@ -1,0 +1,116 @@
+//! Smoke test: every partitioner evaluated in the paper runs end-to-end on a
+//! tiny workload sample, and `all_partitioners()` pins the Figure 6/7
+//! ordering (the three text partitioners, the three space partitioners, then
+//! the hybrid).
+
+use ps2stream_geo::{Point, Rect};
+use ps2stream_model::{ObjectId, QueryId, SpatioTextualObject, StsQuery, SubscriberId};
+use ps2stream_partition::{all_partitioners, evaluate_distribution, CostConstants, WorkloadSample};
+use ps2stream_text::{BooleanExpr, TermId};
+
+fn obj(id: u64, terms: &[u32], x: f64, y: f64) -> SpatioTextualObject {
+    SpatioTextualObject::new(
+        ObjectId(id),
+        terms.iter().map(|t| TermId(*t)).collect(),
+        Point::new(x, y),
+    )
+}
+
+fn qry(id: u64, terms: &[u32], region: Rect) -> StsQuery {
+    StsQuery::new(
+        QueryId(id),
+        SubscriberId(id),
+        BooleanExpr::and_of(terms.iter().map(|t| TermId(*t))),
+        region,
+    )
+}
+
+fn tiny_sample() -> WorkloadSample {
+    WorkloadSample::new(
+        Rect::from_coords(0.0, 0.0, 10.0, 10.0),
+        vec![
+            obj(1, &[1, 2], 1.0, 1.0),
+            obj(2, &[1], 2.0, 2.0),
+            obj(3, &[3], 8.0, 8.0),
+            obj(4, &[2, 3], 9.0, 1.0),
+            obj(5, &[4], 1.0, 9.0),
+        ],
+        vec![
+            qry(1, &[1], Rect::from_coords(0.0, 0.0, 3.0, 3.0)),
+            qry(2, &[3], Rect::from_coords(7.0, 7.0, 9.0, 9.0)),
+            qry(3, &[2], Rect::from_coords(8.0, 0.0, 10.0, 2.0)),
+            qry(4, &[4], Rect::from_coords(0.0, 8.0, 2.0, 10.0)),
+        ],
+        vec![qry(5, &[2], Rect::from_coords(0.0, 0.0, 1.0, 1.0))],
+    )
+}
+
+/// The Figure 6/7 ordering the evaluation binaries and plots rely on.
+const FIGURE_6_7_ORDER: [&str; 7] = [
+    "Frequency",
+    "Hypergraph",
+    "Metric",
+    "Grid",
+    "kd-tree",
+    "R-tree",
+    "Hybrid",
+];
+
+#[test]
+fn all_partitioners_are_in_figure_order() {
+    let names: Vec<&str> = all_partitioners().iter().map(|p| p.name()).collect();
+    assert_eq!(names, FIGURE_6_7_ORDER);
+}
+
+#[test]
+fn every_partitioner_runs_end_to_end_on_a_tiny_sample() {
+    let sample = tiny_sample();
+    for workers in [1usize, 3] {
+        for p in all_partitioners() {
+            let mut table = p.partition(&sample, workers);
+            assert_eq!(
+                table.num_workers(),
+                workers,
+                "{}: wrong worker count",
+                p.name()
+            );
+
+            // every query insertion must be routed to at least one worker,
+            // and only to valid workers
+            for q in sample.insertions() {
+                let routed = table.route_insert(q);
+                assert!(
+                    !routed.is_empty(),
+                    "{}: query {:?} unrouted",
+                    p.name(),
+                    q.id
+                );
+                assert!(
+                    routed.iter().all(|w| (w.0 as usize) < workers),
+                    "{}: routed {:?} out of range",
+                    p.name(),
+                    routed
+                );
+            }
+
+            // objects route to at most `workers` distinct workers
+            for o in sample.objects() {
+                let routed = table.route_object(o);
+                assert!(
+                    routed.iter().all(|w| (w.0 as usize) < workers),
+                    "{}: object routed {:?} out of range",
+                    p.name(),
+                    routed
+                );
+            }
+
+            // the load model must accept the resulting distribution
+            let summary = evaluate_distribution(&mut table, &sample, CostConstants::default());
+            assert!(
+                summary.total_load() > 0.0,
+                "{}: zero total load on a non-empty sample",
+                p.name()
+            );
+        }
+    }
+}

@@ -25,7 +25,9 @@ impl<T> Emitter<T> {
 
     /// An emitter with no outputs (for sink operators).
     pub fn sink() -> Self {
-        Self { outputs: Vec::new() }
+        Self {
+            outputs: Vec::new(),
+        }
     }
 
     /// Number of downstream channels.

@@ -38,7 +38,10 @@ impl BooleanExpr {
     /// Panics if `terms` is empty.
     pub fn and_of(terms: impl IntoIterator<Item = TermId>) -> Self {
         let clause = normalize_clause(terms.into_iter().collect());
-        assert!(!clause.is_empty(), "BooleanExpr::and_of requires at least one keyword");
+        assert!(
+            !clause.is_empty(),
+            "BooleanExpr::and_of requires at least one keyword"
+        );
         Self { dnf: vec![clause] }
     }
 
@@ -48,7 +51,10 @@ impl BooleanExpr {
     /// Panics if `terms` is empty.
     pub fn or_of(terms: impl IntoIterator<Item = TermId>) -> Self {
         let mut terms: Vec<TermId> = terms.into_iter().collect();
-        assert!(!terms.is_empty(), "BooleanExpr::or_of requires at least one keyword");
+        assert!(
+            !terms.is_empty(),
+            "BooleanExpr::or_of requires at least one keyword"
+        );
         terms.sort_unstable();
         terms.dedup();
         Self {
@@ -67,7 +73,10 @@ impl BooleanExpr {
             .map(normalize_clause)
             .filter(|c| !c.is_empty())
             .collect();
-        assert!(!dnf.is_empty(), "BooleanExpr::from_dnf requires at least one non-empty conjunction");
+        assert!(
+            !dnf.is_empty(),
+            "BooleanExpr::from_dnf requires at least one non-empty conjunction"
+        );
         Self { dnf }
     }
 
@@ -103,10 +112,9 @@ impl BooleanExpr {
     /// term list (as produced by the tokenizer).
     pub fn matches_sorted(&self, object_terms: &[TermId]) -> bool {
         debug_assert!(object_terms.windows(2).all(|w| w[0] < w[1]));
-        self.dnf.iter().any(|conj| {
-            conj.iter()
-                .all(|t| object_terms.binary_search(t).is_ok())
-        })
+        self.dnf
+            .iter()
+            .any(|conj| conj.iter().all(|t| object_terms.binary_search(t).is_ok()))
     }
 
     /// For each conjunction, the keyword minimizing `frequency`, i.e. the
@@ -135,7 +143,9 @@ impl BooleanExpr {
             + self
                 .dnf
                 .iter()
-                .map(|c| std::mem::size_of::<Vec<TermId>>() + c.len() * std::mem::size_of::<TermId>())
+                .map(|c| {
+                    std::mem::size_of::<Vec<TermId>>() + c.len() * std::mem::size_of::<TermId>()
+                })
                 .sum::<usize>()
     }
 }

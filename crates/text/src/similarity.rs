@@ -161,8 +161,12 @@ mod tests {
 
     #[test]
     fn similarity_is_symmetric() {
-        let a: TermDistribution = [(t(1), 1.0), (t(2), 5.0), (t(7), 0.5)].into_iter().collect();
-        let b: TermDistribution = [(t(2), 3.0), (t(7), 2.0), (t(9), 4.0)].into_iter().collect();
+        let a: TermDistribution = [(t(1), 1.0), (t(2), 5.0), (t(7), 0.5)]
+            .into_iter()
+            .collect();
+        let b: TermDistribution = [(t(2), 3.0), (t(7), 2.0), (t(9), 4.0)]
+            .into_iter()
+            .collect();
         assert!((a.cosine_similarity(&b) - b.cosine_similarity(&a)).abs() < 1e-12);
     }
 

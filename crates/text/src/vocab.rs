@@ -160,7 +160,9 @@ mod tests {
             .map(|_| {
                 let v = v.clone();
                 std::thread::spawn(move || {
-                    (0..100).map(|i| v.intern(&format!("t{i}"))).collect::<Vec<_>>()
+                    (0..100)
+                        .map(|i| v.intern(&format!("t{i}")))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();

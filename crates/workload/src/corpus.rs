@@ -142,7 +142,10 @@ impl CorpusGenerator {
 
     fn sample_location(&mut self) -> Point {
         let bounds = self.spec.bounds;
-        if self.rng.gen_bool(self.spec.uniform_fraction.clamp(0.0, 1.0)) {
+        if self
+            .rng
+            .gen_bool(self.spec.uniform_fraction.clamp(0.0, 1.0))
+        {
             return Point::new(
                 self.rng.gen_range(bounds.min.x..bounds.max.x),
                 self.rng.gen_range(bounds.min.y..bounds.max.y),
@@ -180,7 +183,7 @@ impl CorpusGenerator {
         let id = ObjectId(self.next_id);
         self.next_id += 1;
         // tweets arrive roughly every few milliseconds of "event time"
-        self.next_timestamp_us += self.rng.gen_range(500..5_000);
+        self.next_timestamp_us += self.rng.gen_range(500u64..5_000);
         let terms = self.sample_terms();
         let location = self.sample_location();
         SpatioTextualObject::new(id, terms, location).with_timestamp(self.next_timestamp_us)

@@ -178,7 +178,7 @@ impl Iterator for WorkloadDriver {
             return Some(self.next_object());
         }
         // update slot: alternate between an insertion and a due deletion
-        if (self.phase / round) % 2 == 0 {
+        if (self.phase / round).is_multiple_of(2) {
             Some(self.next_insert())
         } else {
             match self.due_deletion() {

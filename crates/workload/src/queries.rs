@@ -283,12 +283,8 @@ mod tests {
     fn build(class: QueryClass) -> (QueryGenerator, Vec<SpatioTextualObject>) {
         let mut corpus = CorpusGenerator::new(DatasetSpec::tweets_uk(), 3);
         let sample = corpus.generate(2_000);
-        let generator = QueryGenerator::from_corpus(
-            &corpus,
-            &sample,
-            QueryGeneratorConfig::new(class),
-            99,
-        );
+        let generator =
+            QueryGenerator::from_corpus(&corpus, &sample, QueryGeneratorConfig::new(class), 99);
         (generator, sample)
     }
 
@@ -319,11 +315,7 @@ mod tests {
         let max_side = km_to_degrees(100.0) + 1e-9;
         let mut larger_than_q1 = 0;
         for q in generator.generate(200) {
-            assert!(q
-                .keywords
-                .all_terms()
-                .iter()
-                .any(|t| !frequent.contains(t)));
+            assert!(q.keywords.all_terms().iter().any(|t| !frequent.contains(t)));
             assert!(q.region.width() <= max_side);
             if q.region.width() > km_to_degrees(50.0) {
                 larger_than_q1 += 1;
@@ -366,7 +358,10 @@ mod tests {
         assert_eq!(generator.class(), QueryClass::Q3);
         let queries = generator.generate(400);
         let q1_max = km_to_degrees(50.0);
-        let small = queries.iter().filter(|q| q.region.width() <= q1_max).count();
+        let small = queries
+            .iter()
+            .filter(|q| q.region.width() <= q1_max)
+            .count();
         let large = queries.len() - small;
         // both region styles must be present
         assert!(small > 0 && large > 0, "small={small} large={large}");

@@ -26,7 +26,10 @@ impl ReplayClock {
     /// Panics if either window is zero.
     pub fn new(event_window: Duration, processing_window: Duration) -> Self {
         assert!(!event_window.is_zero(), "event window must be non-zero");
-        assert!(!processing_window.is_zero(), "processing window must be non-zero");
+        assert!(
+            !processing_window.is_zero(),
+            "processing window must be non-zero"
+        );
         Self {
             speedup: event_window.as_secs_f64() / processing_window.as_secs_f64(),
         }
@@ -94,9 +97,15 @@ mod tests {
         let timestamps: Vec<u64> = (0..100u64).map(|i| i * 60_000_000).collect();
         let clock = ReplayClock::new(Duration::from_secs(600), Duration::from_secs(1));
         // after 1 s of processing, 600 s of events (i.e. 11 events: t=0..=600)
-        assert_eq!(clock.released_count(&timestamps, Duration::from_secs(1)), 11);
+        assert_eq!(
+            clock.released_count(&timestamps, Duration::from_secs(1)),
+            11
+        );
         // after 10 s everything has been released
-        assert_eq!(clock.released_count(&timestamps, Duration::from_secs(10)), 100);
+        assert_eq!(
+            clock.released_count(&timestamps, Duration::from_secs(10)),
+            100
+        );
         // nothing released from an empty recording
         assert_eq!(clock.released_count(&[], Duration::from_secs(1)), 0);
     }

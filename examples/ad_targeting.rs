@@ -26,9 +26,9 @@ fn main() {
     ];
     // each zone gets subscriptions over a mix of popular and niche keywords
     let keyword_sets: Vec<Vec<u32>> = vec![
-        vec![5, 17],        // "restaurant AND dinner"
-        vec![23, 41, 77],   // "coffee OR brunch OR bakery"
-        vec![101, 5],       // "vegan AND restaurant"
+        vec![5, 17],      // "restaurant AND dinner"
+        vec![23, 41, 77], // "coffee OR brunch OR bakery"
+        vec![101, 5],     // "vegan AND restaurant"
     ];
 
     let mut queries = Vec::new();
@@ -45,7 +45,12 @@ fn main() {
             // 40 km square campaign zone
             let region = Rect::square(*center, 40.0 / 111.0);
             let id = QueryId(next_id);
-            queries.push(StsQuery::new(id, SubscriberId(1000 + next_id), expr, region));
+            queries.push(StsQuery::new(
+                id,
+                SubscriberId(1000 + next_id),
+                expr,
+                region,
+            ));
             campaign_of_query.insert(id, format!("{zone_name}/set{k}"));
             next_id += 1;
         }
@@ -85,7 +90,10 @@ fn main() {
     }
     println!("Ad targeting over {} geo-tagged posts", posts.len());
     println!("  throughput     : {:.0} tuples/s", report.throughput_tps);
-    println!("  mean latency   : {:.2} ms", report.mean_latency.as_secs_f64() * 1e3);
+    println!(
+        "  mean latency   : {:.2} ms",
+        report.mean_latency.as_secs_f64() * 1e3
+    );
     println!("  total leads    : {}", report.matches_delivered);
     let mut campaigns: Vec<(String, u64)> = leads_per_campaign.into_iter().collect();
     campaigns.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));

@@ -18,7 +18,10 @@ fn neighbourhoods() -> Vec<(&'static str, Rect)> {
     vec![
         ("riverside", Rect::from_coords(0.00, 0.00, 0.04, 0.04)),
         ("old-town", Rect::from_coords(0.03, 0.03, 0.07, 0.07)),
-        ("stadium-district", Rect::from_coords(0.06, 0.00, 0.10, 0.04)),
+        (
+            "stadium-district",
+            Rect::from_coords(0.06, 0.00, 0.10, 0.04),
+        ),
         ("university", Rect::from_coords(0.00, 0.06, 0.04, 0.10)),
     ]
 }
@@ -60,12 +63,28 @@ fn main() {
 
     // --- incoming geo-tagged posts -----------------------------------------
     let posts: Vec<(&str, f64, f64)> = vec![
-        ("Flood warning issued for the riverside promenade", 0.01, 0.02),
+        (
+            "Flood warning issued for the riverside promenade",
+            0.01,
+            0.02,
+        ),
         ("Great concert tonight at the old town square!", 0.05, 0.05),
-        ("Roadworks blocking the old town bridge all week", 0.04, 0.06),
-        ("Match tickets still available at the stadium box office", 0.08, 0.02),
+        (
+            "Roadworks blocking the old town bridge all week",
+            0.04,
+            0.06,
+        ),
+        (
+            "Match tickets still available at the stadium box office",
+            0.08,
+            0.02,
+        ),
         ("The linear algebra lecture is cancelled today", 0.02, 0.08),
-        ("Sunny afternoon by the river, no warning in sight", 0.01, 0.01),
+        (
+            "Sunny afternoon by the river, no warning in sight",
+            0.01,
+            0.01,
+        ),
         ("Festival parade moved away from the stadium", 0.08, 0.03),
     ];
     let objects: Vec<SpatioTextualObject> = posts
@@ -101,7 +120,11 @@ fn main() {
     let report = system.finish();
 
     // --- show the notifications --------------------------------------------
-    println!("City alerts — {} posts, {} subscriptions", posts.len(), queries.len());
+    println!(
+        "City alerts — {} posts, {} subscriptions",
+        posts.len(),
+        queries.len()
+    );
     let mut notifications: Vec<MatchResult> = delivery_rx.try_iter().collect();
     notifications.sort_by_key(|m| (m.subscriber.0, m.object_id.0));
     for m in &notifications {
@@ -112,8 +135,10 @@ fn main() {
             m.subscriber.0, hood, keywords, text
         );
     }
-    println!("delivered {} notifications ({} duplicates suppressed)",
-        report.matches_delivered, report.duplicates_removed);
+    println!(
+        "delivered {} notifications ({} duplicates suppressed)",
+        report.matches_delivered, report.duplicates_removed
+    );
 
     // sanity check against the brute-force expectation
     let expected: u64 = objects

@@ -14,7 +14,8 @@ fn main() {
     let dataset = DatasetSpec::tweets_us();
     let mu = 20_000usize;
 
-    let sample = ps2stream_workload::build_sample(dataset.clone(), QueryClass::Q3, 20_000, 2_500, 11);
+    let sample =
+        ps2stream_workload::build_sample(dataset.clone(), QueryClass::Q3, 20_000, 2_500, 11);
     let config = SystemConfig::paper_default().with_adjustment(AdjustmentConfig {
         selector: SelectorKind::Greedy,
         sigma: 1.3,
@@ -47,14 +48,23 @@ fn main() {
             system.send(record);
         }
         driver.query_generator_mut().drift_q3_regions(0.10);
-        println!("  interval {} done, regional preferences drifted", interval + 1);
+        println!(
+            "  interval {} done, regional preferences drifted",
+            interval + 1
+        );
     }
 
     let report = system.finish();
     println!();
     println!("run report with dynamic load adjustment (GR selector)");
-    println!("  throughput          : {:.0} tuples/s", report.throughput_tps);
-    println!("  mean latency        : {:.2} ms", report.mean_latency.as_secs_f64() * 1e3);
+    println!(
+        "  throughput          : {:.0} tuples/s",
+        report.throughput_tps
+    );
+    println!(
+        "  mean latency        : {:.2} ms",
+        report.mean_latency.as_secs_f64() * 1e3
+    );
     println!("  adjustment rounds   : {}", report.migration_rounds);
     println!("  cells migrated      : {}", report.migration_moves);
     println!(
@@ -66,7 +76,10 @@ fn main() {
         "  selection time      : {:.1} ms total",
         report.migration_selection_time.as_secs_f64() * 1e3
     );
-    println!("  final load balance  : {:.2} (Lmax/Lmin over routed tuples)", report.balance_factor());
+    println!(
+        "  final load balance  : {:.2} (Lmax/Lmin over routed tuples)",
+        report.balance_factor()
+    );
     println!();
     println!("per-worker routed tuples:");
     for (i, load) in report.worker_loads.iter().enumerate() {

@@ -43,12 +43,21 @@ fn main() {
 
     println!("PS2Stream quickstart");
     println!("  records processed : {}", report.records_in);
-    println!("  throughput        : {:.0} tuples/s", report.throughput_tps);
-    println!("  mean latency      : {:.2} ms", report.mean_latency.as_secs_f64() * 1e3);
+    println!(
+        "  throughput        : {:.0} tuples/s",
+        report.throughput_tps
+    );
+    println!(
+        "  mean latency      : {:.2} ms",
+        report.mean_latency.as_secs_f64() * 1e3
+    );
     println!("  matches delivered : {}", report.matches_delivered);
     println!("  duplicates removed: {}", report.duplicates_removed);
     println!("  discarded objects : {}", report.discarded_objects);
-    println!("  load balance      : {:.2} (Lmax/Lmin)", report.balance_factor());
+    println!(
+        "  load balance      : {:.2} (Lmax/Lmin)",
+        report.balance_factor()
+    );
     assert_eq!(delivered.len() as u64, report.matches_delivered);
     if let Some(m) = delivered.first() {
         println!(

@@ -87,10 +87,8 @@ fn adjustment_migrates_cells_and_keeps_results_correct() {
     let delivered: Vec<MatchResult> = delivery_rx.try_iter().collect();
 
     // every delivered match must be a true match
-    let expected_any_pass: HashSet<(QueryId, u64)> = expected
-        .iter()
-        .map(|(q, o)| (*q, o.value()))
-        .collect();
+    let expected_any_pass: HashSet<(QueryId, u64)> =
+        expected.iter().map(|(q, o)| (*q, o.value())).collect();
     for m in &delivered {
         let base_object = m.object_id.value() % 1_000_000;
         assert!(
@@ -166,5 +164,8 @@ fn adjustment_reduces_imbalance_on_a_skewed_workload() {
         .iter()
         .filter(|w| w.objects > 0)
         .count();
-    assert!(busy >= 2, "all objects still on a single worker after adjustment");
+    assert!(
+        busy >= 2,
+        "all objects still on a single worker after adjustment"
+    );
 }

@@ -79,11 +79,7 @@ fn all_partitioners_respect_reasonable_balance_on_uniformish_workloads() {
     for partitioner in ps2stream_partition::all_partitioners() {
         let mut table = partitioner.partition(&sample, 8);
         let summary = evaluate_distribution(&mut table, &sample, CostConstants::default());
-        let busy = summary
-            .per_worker
-            .iter()
-            .filter(|w| w.tuples() > 0)
-            .count();
+        let busy = summary.per_worker.iter().filter(|w| w.tuples() > 0).count();
         assert!(
             busy >= 4,
             "{}: only {busy} of 8 workers received load",

@@ -56,7 +56,10 @@ fn brute_force(sample: &WorkloadSample) -> HashSet<(QueryId, ObjectId)> {
 fn every_partitioning_strategy_delivers_exactly_the_correct_matches() {
     let sample = ps2stream_workload::build_sample(DatasetSpec::tiny(), QueryClass::Q1, 600, 120, 7);
     let expected = brute_force(&sample);
-    assert!(!expected.is_empty(), "the test workload should produce matches");
+    assert!(
+        !expected.is_empty(),
+        "the test workload should produce matches"
+    );
     for partitioner in all_partitioners() {
         let name = partitioner.name();
         let (delivered, report) = run_system(partitioner, &sample, 4);
@@ -83,7 +86,8 @@ fn q2_workload_with_or_queries_is_also_exact() {
 fn deletions_stop_deliveries_cluster_wide() {
     // register queries, delete half of them, then stream objects: only the
     // surviving queries may produce matches
-    let sample = ps2stream_workload::build_sample(DatasetSpec::tiny(), QueryClass::Q1, 500, 100, 13);
+    let sample =
+        ps2stream_workload::build_sample(DatasetSpec::tiny(), QueryClass::Q1, 500, 100, 13);
     let (delivery_tx, delivery_rx) = unbounded::<MatchResult>();
     let mut system = Ps2StreamBuilder::new(SystemConfig {
         num_dispatchers: 1,

@@ -1,0 +1,575 @@
+//! Vendored stand-in for `proptest`.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! re-implements the proptest API subset the workspace uses: the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`, range and
+//! tuple strategies, [`collection::vec`], [`bool::ANY`], the `proptest!`
+//! macro with `#![proptest_config(...)]`, and the `prop_assert*` macros.
+//!
+//! Differences from real proptest: cases are generated from a deterministic
+//! per-test seed (derived from the test's module path and name) and failing
+//! inputs are reported but **not shrunk**. That keeps the harness ~400 lines
+//! while preserving the property-testing semantics the suites rely on.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and the combinator adapters it returns.
+
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of an output type.
+    pub trait Strategy {
+        /// The type of value this strategy produces.
+        type Value: fmt::Debug;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U: fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        /// Generates a value, then uses it to pick a second strategy to draw
+        /// the final value from.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, f }
+        }
+
+        /// Erases the concrete strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(self))
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Type-erased strategy handle (mirrors `proptest::strategy::BoxedStrategy`).
+    pub struct BoxedStrategy<T>(std::rc::Rc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            Self(std::rc::Rc::clone(&self.0))
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.0.generate(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone + fmt::Debug>(pub T);
+
+    impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Adapter returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U: fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.source.generate(rng))
+        }
+    }
+
+    /// Adapter returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! numeric_range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    numeric_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    impl Strategy for str {
+        type Value = String;
+        /// Treats the string as a simplified regex pattern (literal
+        /// characters, `[...]` classes with ranges, and `{n}` / `{n,m}` /
+        /// `*` / `+` / `?` quantifiers) and generates a matching string.
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            let chars: Vec<char> = self.chars().collect();
+            let mut i = 0;
+            while i < chars.len() {
+                let (choices, next) = parse_atom(&chars, i);
+                let (lo, hi, next) = parse_quantifier(&chars, next);
+                let count = if lo == hi {
+                    lo
+                } else {
+                    rng.rng.gen_range(lo..=hi)
+                };
+                for _ in 0..count {
+                    if let Some(c) = pick(&choices, rng) {
+                        out.push(c);
+                    }
+                }
+                i = next;
+            }
+            out
+        }
+    }
+
+    /// One regex atom: the set of characters it can produce.
+    enum Atom {
+        One(char),
+        Class(Vec<(char, char)>),
+        AnyPrintable,
+    }
+
+    fn parse_atom(chars: &[char], mut i: usize) -> (Atom, usize) {
+        match chars[i] {
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                (Atom::Class(ranges), i + 1)
+            }
+            '.' => (Atom::AnyPrintable, i + 1),
+            '\\' => (Atom::One(chars[i + 1]), i + 2),
+            c => (Atom::One(c), i + 1),
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], i: usize) -> (usize, usize, usize) {
+        match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..].iter().position(|c| *c == '}').unwrap() + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                let (lo, hi) = match body.split_once(',') {
+                    Some((lo, "")) => (lo.parse().unwrap(), lo.parse::<usize>().unwrap() + 8),
+                    Some((lo, hi)) => (lo.parse().unwrap(), hi.parse().unwrap()),
+                    None => (body.parse().unwrap(), body.parse().unwrap()),
+                };
+                (lo, hi, close + 1)
+            }
+            Some('*') => (0, 8, i + 1),
+            Some('+') => (1, 8, i + 1),
+            Some('?') => (0, 1, i + 1),
+            _ => (1, 1, i),
+        }
+    }
+
+    fn pick(atom: &Atom, rng: &mut TestRng) -> Option<char> {
+        match atom {
+            Atom::One(c) => Some(*c),
+            Atom::AnyPrintable => Some(char::from_u32(rng.rng.gen_range(0x20u32..0x7f)).unwrap()),
+            Atom::Class(ranges) => {
+                if ranges.is_empty() {
+                    return None;
+                }
+                let (lo, hi) = ranges[rng.rng.gen_range(0..ranges.len())];
+                char::from_u32(rng.rng.gen_range(lo as u32..=hi as u32))
+            }
+        }
+    }
+
+    /// Marker strategy for "any value of a primitive type".
+    pub struct Any<T>(pub(crate) PhantomData<T>);
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+        fn generate(&self, rng: &mut TestRng) -> bool {
+            rng.rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! any_numeric {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    (<$t>::MIN..=<$t>::MAX).generate(rng)
+                }
+            }
+        )*};
+    }
+
+    any_numeric!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+/// Returns the strategy generating any value of `T` (supported for `bool`
+/// and the primitive integers).
+pub fn any<T>() -> strategy::Any<T>
+where
+    strategy::Any<T>: strategy::Strategy,
+{
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    /// Generates `true` or `false` with equal probability.
+    pub const ANY: super::strategy::Any<bool> = super::strategy::Any(std::marker::PhantomData);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use rand::Rng;
+    use std::fmt;
+    use std::ops::Range;
+
+    /// An inclusive-exclusive size specification for generated collections.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                min: exact,
+                max_exclusive: exact + 1,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose elements come from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of values drawn from `element`, with a length drawn
+    /// from `size` (a `usize` for an exact length or a `Range<usize>`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.rng.gen_range(self.size.min..self.size.max_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration, RNG and error types used by the `proptest!` macro.
+
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// The deterministic RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        pub(crate) rng: ChaCha8Rng,
+    }
+
+    impl TestRng {
+        /// Creates an RNG from an explicit seed.
+        pub fn from_seed_u64(seed: u64) -> Self {
+            Self {
+                rng: ChaCha8Rng::seed_from_u64(seed),
+            }
+        }
+    }
+
+    /// Per-test configuration (mirrors `proptest::test_runner::ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// Why a single generated case failed.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assert*` failed with this message.
+        Fail(String),
+        /// `prop_assume!` rejected the input.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        /// Builds a rejection with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::Reject(msg.into())
+        }
+    }
+
+    /// Stable 64-bit FNV-1a hash used to derive per-test seeds.
+    pub fn fnv1a(bytes: &[u8]) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in bytes {
+            hash ^= b as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Mirrors the `proptest!` macro: an optional
+/// `#![proptest_config(...)]` inner attribute followed by `#[test]`
+/// functions whose arguments are drawn from strategies with `name in strat`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (@impl ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            let seed = $crate::test_runner::fnv1a(
+                concat!(module_path!(), "::", stringify!($name)).as_bytes(),
+            );
+            for case in 0..config.cases as u64 {
+                let mut rng =
+                    $crate::test_runner::TestRng::from_seed_u64(seed.wrapping_add(case));
+                $(
+                    let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
+                )+
+                let case_desc = format!(
+                    concat!("case {} of {}: ", $(stringify!($arg), " = {:?} ",)+),
+                    case, config.cases, $(&$arg),+
+                );
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                        panic!("proptest case failed: {}\n  {}", msg, case_desc);
+                    }
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case with a formatted message unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            left
+        );
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds(
+            x in 3u32..10,
+            ab in (0.0f64..1.0, 5i64..=9),
+            v in crate::collection::vec(0u32..4, 0..6),
+        ) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&ab.0));
+            prop_assert!((5..=9).contains(&ab.1));
+            prop_assert!(v.len() < 6);
+            prop_assert!(v.iter().all(|e| *e < 4));
+        }
+
+        #[test]
+        fn flat_map_threads_values(
+            pair in (1u64..50).prop_flat_map(|n| (Just(n), 0u64..n)),
+        ) {
+            prop_assert!(pair.1 < pair.0, "drew {} >= {}", pair.1, pair.0);
+        }
+
+        #[test]
+        fn exact_vec_lengths(mask in crate::collection::vec(crate::bool::ANY, 7)) {
+            prop_assert_eq!(mask.len(), 7);
+        }
+    }
+}

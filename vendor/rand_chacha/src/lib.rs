@@ -1,0 +1,82 @@
+//! Vendored stand-in for `rand_chacha`.
+//!
+//! The workspace only needs a deterministic, seedable, statistically sound
+//! generator behind the `ChaCha8Rng` name; the stream cipher itself is not a
+//! requirement (nothing here is cryptographic). This stub therefore runs
+//! xoshiro256**, seeded via SplitMix64 exactly like `rand`'s
+//! `seed_from_u64`, trading the ChaCha keystream for a tiny dependency-free
+//! implementation with excellent statistical quality.
+
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic seedable generator standing in for `rand_chacha::ChaCha8Rng`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    s: [u64; 4],
+}
+
+impl ChaCha8Rng {
+    fn from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for word in &mut s {
+            *word = rand::__core::splitmix64(&mut sm);
+        }
+        // xoshiro must not start from the all-zero state
+        if s == [0; 4] {
+            s[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        Self { s }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256** by Blackman & Vigna (public domain)
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        Self::from_u64(state)
+    }
+}
+
+/// Alias kept for API parity with the real crate.
+pub type ChaCha12Rng = ChaCha8Rng;
+/// Alias kept for API parity with the real crate.
+pub type ChaCha20Rng = ChaCha8Rng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        let va: Vec<u64> = (0..32).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..32).map(|_| b.next_u64()).collect();
+        assert_eq!(va, vb);
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        assert_ne!(va, (0..32).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn roughly_uniform_unit_floats() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Vendored stand-in for `serde`.
+//!
+//! The build environment has no access to crates.io. The workspace only uses
+//! serde for `#[derive(Serialize, Deserialize)]` annotations on plain data
+//! types (no serialization is ever performed), so this stub provides the two
+//! marker traits with blanket impls plus the no-op derive macros from the
+//! sibling `serde_derive` stub. Swapping in the real serde later is a
+//! manifest-only change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T> DeserializeOwned for T {}
+
+/// Minimal `serde::de` namespace for code that names the owned-deserialize
+/// bound through the conventional path.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Minimal `serde::ser` namespace.
+pub mod ser {
+    pub use crate::Serialize;
+}

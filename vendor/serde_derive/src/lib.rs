@@ -1,0 +1,21 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this proc-macro
+//! crate accepts the `#[derive(Serialize, Deserialize)]` spelling (including
+//! `#[serde(...)]` helper attributes) and expands to nothing. The sibling
+//! `serde` stub provides blanket trait impls, so `T: Serialize` bounds are
+//! still satisfiable.
+
+use proc_macro::TokenStream;
+
+/// No-op derive for `Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive for `Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
