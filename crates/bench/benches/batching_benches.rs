@@ -1,0 +1,84 @@
+//! Criterion benchmark of the hot-path batch size on a fig07-style workload.
+//!
+//! Drives a complete in-process deployment (dispatcher → workers → merger)
+//! over the same interleaved insert/delete/object mix as the Figure 7
+//! throughput experiment, at batch sizes 1 / 16 / 128. Batch size 1
+//! reproduces the old record-at-a-time dataflow; the larger sizes amortize
+//! the channel operations that otherwise dominate the per-tuple cost.
+//!
+//! Set `PS2_BENCH_FAST=1` (the CI smoke mode) to shrink the driven stream and
+//! sample count so the suite finishes in seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps2stream::prelude::*;
+
+fn fast_mode() -> bool {
+    std::env::var("PS2_BENCH_FAST").is_ok_and(|v| v != "0")
+}
+
+/// A fig07-style record mix: the warm-up query population followed by the
+/// measured interleaved stream (objects : updates ≈ 5 : 1).
+fn build_records(queries: usize, stream_records: usize) -> (WorkloadSample, Vec<StreamRecord>) {
+    let spec = DatasetSpec::tweets_us();
+    let sample = ps2stream_workload::build_sample(spec.clone(), QueryClass::Q1, 2_000, 400, 42);
+    let mut corpus = CorpusGenerator::new(spec.clone(), 49);
+    let corpus_sample = corpus.generate(2_000);
+    let generator = QueryGenerator::from_corpus(
+        &corpus,
+        &corpus_sample,
+        QueryGeneratorConfig::new(QueryClass::Q1),
+        55,
+    );
+    let mut driver =
+        WorkloadDriver::new(DriverConfig::with_mu(queries as u64), corpus, generator, 65);
+    let mut records = driver.warm_up(queries);
+    records.extend((&mut driver).take(stream_records));
+    (sample, records)
+}
+
+fn run_once(sample: &WorkloadSample, records: &[StreamRecord], batch: usize) -> u64 {
+    let mut system = Ps2StreamBuilder::new(
+        SystemConfig {
+            num_dispatchers: 1,
+            num_workers: 2,
+            num_mergers: 1,
+            ..SystemConfig::default()
+        }
+        .with_batch_size(batch),
+    )
+    .with_partitioner(Box::new(HybridPartitioner::default()))
+    .with_calibration_sample(sample.clone())
+    .start();
+    for record in records {
+        system.send(record.clone());
+    }
+    let report = system.finish();
+    report.records_in
+}
+
+fn bench_batch_sizes(c: &mut Criterion) {
+    let (queries, stream) = if fast_mode() {
+        (400, 2_000)
+    } else {
+        (1_500, 24_000)
+    };
+    let (sample, records) = build_records(queries, stream);
+    let mut group = c.benchmark_group("fig07_pipeline_batch_size");
+    for batch in [1usize, 16, 128] {
+        group.bench_with_input(BenchmarkId::new("batch", batch), &batch, |b, &batch| {
+            b.iter(|| run_once(&sample, &records, batch))
+        });
+    }
+    group.finish();
+}
+
+fn c() -> Criterion {
+    Criterion::default().sample_size(if fast_mode() { 2 } else { 5 })
+}
+
+criterion_group! {
+    name = batching;
+    config = c();
+    targets = bench_batch_sizes
+}
+criterion_main!(batching);

@@ -56,7 +56,7 @@ fn bench_hybrid_sigma_ablation(c: &mut Criterion) {
 
 fn bench_routing(c: &mut Criterion) {
     let sample = sample();
-    let mut table = HybridPartitioner::default().partition(&sample, 8);
+    let table = HybridPartitioner::default().partition(&sample, 8);
     for q in sample.insertions() {
         table.route_insert(q);
     }

@@ -5,14 +5,15 @@
 
 use ps2stream::prelude::*;
 use ps2stream_bench::{
-    dataset_tag, datasets, fmt_tps, headline_report, headline_strategies, print_table, Scale,
+    batch_arg, dataset_tag, datasets, fmt_tps, headline_report_batched, headline_strategies,
+    print_table, Scale,
 };
 
-fn run_panel(title: &str, class: QueryClass, scale: Scale) {
+fn run_panel(title: &str, class: QueryClass, scale: Scale, batch: Option<usize>) {
     let mut rows = Vec::new();
     for dataset in datasets() {
         for strategy in headline_strategies() {
-            let report = headline_report(dataset.clone(), class, strategy, scale, 8);
+            let report = headline_report_batched(dataset.clone(), class, strategy, scale, 8, batch);
             rows.push(vec![
                 format!("STS-{}-{}", dataset_tag(&dataset), class.name()),
                 strategy.to_string(),
@@ -34,22 +35,30 @@ fn run_panel(title: &str, class: QueryClass, scale: Scale) {
 }
 
 fn main() {
+    let batch = batch_arg();
     println!("Figure 7: throughput comparison (Metric, kd-tree, Hybrid)");
-    println!("(4 dispatchers, 8 workers; PS2_SCALE={})", Scale::factor());
+    println!(
+        "(4 dispatchers, 8 workers; PS2_SCALE={}; --batch {})",
+        Scale::factor(),
+        batch.map_or("default".to_string(), |b| b.to_string()),
+    );
     run_panel(
         "Figure 7(a): #Queries=5M (Q1)",
         QueryClass::Q1,
         Scale::q5m(),
+        batch,
     );
     run_panel(
         "Figure 7(b): #Queries=10M (Q2)",
         QueryClass::Q2,
         Scale::q10m(),
+        batch,
     );
     run_panel(
         "Figure 7(c): #Queries=10M (Q3)",
         QueryClass::Q3,
         Scale::q10m(),
+        batch,
     );
     println!();
     println!(

@@ -98,6 +98,8 @@ pub struct Experiment {
     pub scale: Scale,
     /// Dynamic load adjustment configuration (None = disabled).
     pub adjustment: Option<AdjustmentConfig>,
+    /// Hot-path batch size override (None = the system default).
+    pub batch_size: Option<usize>,
     /// Random seed.
     pub seed: u64,
 }
@@ -119,6 +121,7 @@ impl Experiment {
             dispatchers: 4,
             scale,
             adjustment: None,
+            batch_size: None,
             seed: 42,
         }
     }
@@ -126,6 +129,12 @@ impl Experiment {
     /// Overrides the number of workers.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Overrides the hot-path batch size (see `SystemConfig::batch_size`).
+    pub fn with_batch(mut self, batch_size: usize) -> Self {
+        self.batch_size = Some(batch_size);
         self
     }
 
@@ -156,6 +165,10 @@ impl Experiment {
         };
         let config = match self.adjustment {
             Some(adj) => config.with_adjustment(adj),
+            None => config,
+        };
+        let config = match self.batch_size {
+            Some(batch) => config.with_batch_size(batch),
             None => config,
         };
         let mut system = Ps2StreamBuilder::new(config)
@@ -278,9 +291,43 @@ pub fn headline_report(
     scale: Scale,
     workers: usize,
 ) -> RunReport {
-    Experiment::new(dataset, class, build_partitioner(strategy), scale)
-        .with_workers(workers)
-        .run()
+    headline_report_batched(dataset, class, strategy, scale, workers, None)
+}
+
+/// [`headline_report`] with an explicit hot-path batch size (the `--batch`
+/// knob of the fig07/fig08 binaries; `None` = system default).
+pub fn headline_report_batched(
+    dataset: DatasetSpec,
+    class: QueryClass,
+    strategy: &str,
+    scale: Scale,
+    workers: usize,
+    batch: Option<usize>,
+) -> RunReport {
+    let mut experiment =
+        Experiment::new(dataset, class, build_partitioner(strategy), scale).with_workers(workers);
+    if let Some(batch) = batch {
+        experiment = experiment.with_batch(batch);
+    }
+    experiment.run()
+}
+
+/// Parses a `--batch N` argument from the process command line (the batching
+/// knob shared by the fig07/fig08 binaries). Returns `None` when absent;
+/// panics on a malformed value so a typo does not silently benchmark the
+/// default.
+pub fn batch_arg() -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(value) = arg.strip_prefix("--batch=") {
+            return Some(value.parse().expect("--batch expects a positive integer"));
+        }
+        if arg == "--batch" {
+            let value = args.get(i + 1).expect("--batch expects a value");
+            return Some(value.parse().expect("--batch expects a positive integer"));
+        }
+    }
+    None
 }
 
 #[cfg(test)]

@@ -5,13 +5,22 @@
 //! (Section IV-C): objects go to the workers owning their cell/terms (or are
 //! discarded when no registered keyword matches), query insertions and
 //! deletions go to every worker holding a replica of the query.
+//!
+//! The hot path is batch-oriented and read-mostly: records arrive in
+//! [`Batch`]es, every routing decision — objects, insertions **and**
+//! deletions — takes only a *read* lock on the shared table (insertions
+//! register their terms through the table's sharded
+//! [`ps2stream_partition::TermRegistry`]), and routed records accumulate in
+//! per-worker reorder buffers that are flushed as [`WorkerMessage::Records`]
+//! batches. Adding dispatchers therefore scales the ingest path instead of
+//! serializing it on a table-level write lock.
 
 use crate::messages::WorkerMessage;
 use crate::metrics::SystemMetrics;
 use parking_lot::RwLock;
 use ps2stream_model::{QueryUpdate, StreamRecord};
 use ps2stream_partition::RoutingTable;
-use ps2stream_stream::{Emitter, Envelope, Operator};
+use ps2stream_stream::{Batch, BatchBuffer, Emitter, Envelope, Operator};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
@@ -25,27 +34,41 @@ pub struct Dispatcher {
     /// are routed through it as well, and objects are routed through both
     /// tables so no match is lost.
     old_routing: Arc<RwLock<Option<RoutingTable>>>,
+    /// Per-worker reorder buffers: routed records accumulate here and leave
+    /// as batches. Flushed at the end of every input batch, so the buffers
+    /// never hold records across a quiescent period.
+    buffer: BatchBuffer<StreamRecord>,
 }
 
 impl Dispatcher {
-    /// Creates a dispatcher over the shared routing state.
+    /// Creates a dispatcher over the shared routing state, fanning out to
+    /// `num_workers` workers in batches of `batch_size` records.
     pub fn new(
         routing: Arc<RwLock<RoutingTable>>,
         old_routing: Arc<RwLock<Option<RoutingTable>>>,
         metrics: Arc<SystemMetrics>,
+        num_workers: usize,
+        batch_size: usize,
     ) -> Self {
         Self {
             routing,
             metrics,
             old_routing,
+            buffer: BatchBuffer::new(num_workers, batch_size),
         }
     }
 
-    fn route_record(&self, record: &StreamRecord) -> Vec<ps2stream_model::WorkerId> {
+    /// Routes one record against the two tables. The read guards are
+    /// acquired once per input batch (not per record) by the caller.
+    fn route_record(
+        routing: &RoutingTable,
+        old_routing: Option<&RoutingTable>,
+        record: &StreamRecord,
+    ) -> Vec<ps2stream_model::WorkerId> {
         match record {
             StreamRecord::Object(o) => {
-                let mut workers = self.routing.read().route_object(o);
-                if let Some(old) = self.old_routing.read().as_ref() {
+                let mut workers = routing.route_object(o);
+                if let Some(old) = old_routing {
                     for w in old.route_object(o) {
                         if !workers.contains(&w) {
                             workers.push(w);
@@ -54,10 +77,12 @@ impl Dispatcher {
                 }
                 workers
             }
-            StreamRecord::Update(QueryUpdate::Insert(q)) => self.routing.write().route_insert(q),
+            // steady state: term registration goes through the sharded
+            // registry, so even insertions need only the read lock
+            StreamRecord::Update(QueryUpdate::Insert(q)) => routing.route_insert(q),
             StreamRecord::Update(QueryUpdate::Delete(q)) => {
-                let mut workers = self.routing.read().route_delete(q);
-                if let Some(old) = self.old_routing.read().as_ref() {
+                let mut workers = routing.route_delete(q);
+                if let Some(old) = old_routing {
                     for w in old.route_delete(q) {
                         if !workers.contains(&w) {
                             workers.push(w);
@@ -68,36 +93,71 @@ impl Dispatcher {
             }
         }
     }
-}
 
-impl Operator for Dispatcher {
-    type In = Envelope<StreamRecord>;
-    type Out = WorkerMessage;
-
-    fn process(&mut self, input: Envelope<StreamRecord>, emitter: &Emitter<WorkerMessage>) {
-        let workers = self.route_record(&input.payload);
-        if workers.is_empty() {
+    fn route_envelope(
+        &mut self,
+        routing: &RoutingTable,
+        old_routing: Option<&RoutingTable>,
+        envelope: Envelope<StreamRecord>,
+        emitter: &Emitter<WorkerMessage>,
+    ) {
+        let workers = Self::route_record(routing, old_routing, &envelope.payload);
+        let Some((&last, rest)) = workers.split_last() else {
             // Discarded at the dispatcher (object with no registered keyword
             // in its cell): the tuple is complete, record its latency.
-            if input.payload.is_object() {
+            if envelope.payload.is_object() {
                 self.metrics
                     .discarded_objects
                     .fetch_add(1, Ordering::Relaxed);
             }
-            self.metrics.latency.record(input.latency());
+            self.metrics.latency.record(envelope.latency());
             self.metrics.throughput.record(1);
             return;
+        };
+        // clone the payload for every worker but the last; the original
+        // envelope moves into the final buffer slot
+        for w in rest {
+            if let Some(batch) = self
+                .buffer
+                .push(w.index(), envelope.derive(envelope.payload.clone()))
+            {
+                emitter.emit_to(w.index(), WorkerMessage::Records(batch));
+            }
         }
-        if workers.len() == 1 {
-            emitter.emit_to(workers[0].index(), WorkerMessage::Record(input));
-            return;
+        if let Some(batch) = self.buffer.push(last.index(), envelope) {
+            emitter.emit_to(last.index(), WorkerMessage::Records(batch));
         }
-        for w in workers {
-            emitter.emit_to(
-                w.index(),
-                WorkerMessage::Record(input.derive(input.payload.clone())),
-            );
+    }
+}
+
+impl Operator for Dispatcher {
+    type In = Batch<StreamRecord>;
+    type Out = WorkerMessage;
+
+    fn process(&mut self, input: Batch<StreamRecord>, emitter: &Emitter<WorkerMessage>) {
+        // acquire the read guards once per batch: the per-record lock traffic
+        // is what batching amortizes away (writers — the adjustment
+        // controller — wait at most one batch)
+        let routing = Arc::clone(&self.routing);
+        let old_routing = Arc::clone(&self.old_routing);
+        let routing = routing.read();
+        let old_routing = old_routing.read();
+        for envelope in input {
+            self.route_envelope(&routing, old_routing.as_ref(), envelope, emitter);
         }
+        // Flush the partial per-worker buffers while still holding the read
+        // guards: a routed record must reach its worker's channel before the
+        // adjustment controller can reassign the cell and issue the
+        // MigrateCell (worker channels are unbounded, so these sends never
+        // block while the lock is held). Per-channel FIFO then guarantees the
+        // record is matched before the cell's queries are extracted. Nothing
+        // is held back between input batches, so downstream latency is
+        // bounded by the batch the record arrived in.
+        for (worker, batch) in self.buffer.flush_all() {
+            emitter.emit_to(worker, WorkerMessage::Records(batch));
+        }
+        drop(old_routing);
+        drop(routing);
     }
 }
 
@@ -140,12 +200,26 @@ mod tests {
         SpatioTextualObject::new(ObjectId(id), vec![TermId(term)], Point::new(x, y))
     }
 
+    /// Collects the records of every `Records` batch currently queued.
+    fn drain_records(
+        rx: &ps2stream_stream::Receiver<WorkerMessage>,
+    ) -> Vec<Envelope<StreamRecord>> {
+        let mut out = Vec::new();
+        while let Ok(msg) = rx.try_recv() {
+            let WorkerMessage::Records(batch) = msg else {
+                panic!("expected a Records batch");
+            };
+            out.extend(batch);
+        }
+        out
+    }
+
     #[test]
     fn dispatcher_routes_and_discards() {
         let metrics = SystemMetrics::new(2);
         let routing = Arc::new(RwLock::new(split_routing()));
         let old = Arc::new(RwLock::new(None));
-        let mut d = Dispatcher::new(routing, old, Arc::clone(&metrics));
+        let mut d = Dispatcher::new(routing, old, Arc::clone(&metrics), 2, 4);
         let (tx0, rx0) = bounded::<WorkerMessage>(16);
         let (tx1, rx1) = bounded::<WorkerMessage>(16);
         let emitter = Emitter::new(vec![tx0, tx1]);
@@ -153,23 +227,32 @@ mod tests {
         // a query spanning both halves goes to both workers
         let q = query(1, 7, Rect::from_coords(0.0, 0.0, 16.0, 16.0));
         d.process(
-            Envelope::now(0, StreamRecord::Update(QueryUpdate::Insert(q.clone()))),
+            Batch::of_one(Envelope::now(
+                0,
+                StreamRecord::Update(QueryUpdate::Insert(q.clone())),
+            )),
             &emitter,
         );
-        assert!(matches!(rx0.try_recv().unwrap(), WorkerMessage::Record(_)));
-        assert!(matches!(rx1.try_recv().unwrap(), WorkerMessage::Record(_)));
+        assert_eq!(drain_records(&rx0).len(), 1);
+        assert_eq!(drain_records(&rx1).len(), 1);
 
         // an object in the left half with the registered keyword goes to worker 0 only
         d.process(
-            Envelope::now(1, StreamRecord::Object(object(1, 7, 1.0, 1.0))),
+            Batch::of_one(Envelope::now(
+                1,
+                StreamRecord::Object(object(1, 7, 1.0, 1.0)),
+            )),
             &emitter,
         );
-        assert!(matches!(rx0.try_recv().unwrap(), WorkerMessage::Record(_)));
+        assert_eq!(drain_records(&rx0).len(), 1);
         assert!(rx1.try_recv().is_err());
 
         // an object with an unregistered keyword is discarded
         d.process(
-            Envelope::now(2, StreamRecord::Object(object(2, 99, 1.0, 1.0))),
+            Batch::of_one(Envelope::now(
+                2,
+                StreamRecord::Object(object(2, 99, 1.0, 1.0)),
+            )),
             &emitter,
         );
         assert!(rx0.try_recv().is_err());
@@ -177,11 +260,90 @@ mod tests {
 
         // the deletion follows the insertion's routing
         d.process(
-            Envelope::now(3, StreamRecord::Update(QueryUpdate::Delete(q))),
+            Batch::of_one(Envelope::now(
+                3,
+                StreamRecord::Update(QueryUpdate::Delete(q)),
+            )),
             &emitter,
         );
-        assert!(matches!(rx0.try_recv().unwrap(), WorkerMessage::Record(_)));
-        assert!(matches!(rx1.try_recv().unwrap(), WorkerMessage::Record(_)));
+        assert_eq!(drain_records(&rx0).len(), 1);
+        assert_eq!(drain_records(&rx1).len(), 1);
+    }
+
+    #[test]
+    fn batched_input_is_grouped_per_worker_in_order() {
+        let metrics = SystemMetrics::new(2);
+        let routing = Arc::new(RwLock::new(split_routing()));
+        let old = Arc::new(RwLock::new(None));
+        let mut d = Dispatcher::new(routing, old, metrics, 2, 64);
+        let (tx0, rx0) = bounded::<WorkerMessage>(16);
+        let (tx1, rx1) = bounded::<WorkerMessage>(16);
+        let emitter = Emitter::new(vec![tx0, tx1]);
+
+        let mut batch = Batch::new();
+        batch.push(Envelope::now(
+            0,
+            StreamRecord::Update(QueryUpdate::Insert(query(
+                1,
+                7,
+                Rect::from_coords(0.0, 0.0, 16.0, 16.0),
+            ))),
+        ));
+        // interleave objects for both halves
+        batch.push(Envelope::now(
+            1,
+            StreamRecord::Object(object(1, 7, 1.0, 1.0)),
+        ));
+        batch.push(Envelope::now(
+            2,
+            StreamRecord::Object(object(2, 7, 15.0, 1.0)),
+        ));
+        batch.push(Envelope::now(
+            3,
+            StreamRecord::Object(object(3, 7, 2.0, 2.0)),
+        ));
+        d.process(batch, &emitter);
+
+        // worker 0: insert + two left-half objects, in input order, one batch
+        let to_w0 = drain_records(&rx0);
+        assert_eq!(
+            to_w0.iter().map(|e| e.sequence).collect::<Vec<_>>(),
+            vec![0, 1, 3]
+        );
+        // worker 1: insert replica + the right-half object
+        let to_w1 = drain_records(&rx1);
+        assert_eq!(
+            to_w1.iter().map(|e| e.sequence).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+    }
+
+    #[test]
+    fn full_buffers_flush_mid_batch() {
+        let metrics = SystemMetrics::new(1);
+        let grid = ps2stream_geo::UniformGrid::new(Rect::from_coords(0.0, 0.0, 16.0, 16.0), 4, 4);
+        let cells = vec![CellRouting::Single(WorkerId(0)); grid.num_cells()];
+        let table = RoutingTable::new(grid, cells, 1, Arc::new(TermStats::new()), "one");
+        table.route_insert(&query(1, 7, Rect::from_coords(0.0, 0.0, 16.0, 16.0)));
+        let routing = Arc::new(RwLock::new(table));
+        let old = Arc::new(RwLock::new(None));
+        // batch size 2: five objects produce two full batches and one remainder
+        let mut d = Dispatcher::new(routing, old, metrics, 1, 2);
+        let (tx0, rx0) = bounded::<WorkerMessage>(16);
+        let emitter = Emitter::new(vec![tx0]);
+        let mut batch = Batch::new();
+        for i in 0..5 {
+            batch.push(Envelope::now(
+                i,
+                StreamRecord::Object(object(i, 7, 1.0, 1.0)),
+            ));
+        }
+        d.process(batch, &emitter);
+        let mut sizes = Vec::new();
+        while let Ok(WorkerMessage::Records(b)) = rx0.try_recv() {
+            sizes.push(b.len());
+        }
+        assert_eq!(sizes, vec![2, 2, 1]);
     }
 
     #[test]
@@ -190,7 +352,7 @@ mod tests {
         // new table sends everything to worker 0; old table to worker 1
         let grid = ps2stream_geo::UniformGrid::new(Rect::from_coords(0.0, 0.0, 16.0, 16.0), 4, 4);
         let new_cells = vec![CellRouting::Single(WorkerId(0)); grid.num_cells()];
-        let mut new_table = RoutingTable::new(
+        let new_table = RoutingTable::new(
             grid.clone(),
             new_cells,
             2,
@@ -198,8 +360,7 @@ mod tests {
             "new",
         );
         let old_cells = vec![CellRouting::Single(WorkerId(1)); grid.num_cells()];
-        let mut old_table =
-            RoutingTable::new(grid, old_cells, 2, Arc::new(TermStats::new()), "old");
+        let old_table = RoutingTable::new(grid, old_cells, 2, Arc::new(TermStats::new()), "old");
         // the keyword is registered in both tables
         let q = query(1, 7, Rect::from_coords(0.0, 0.0, 16.0, 16.0));
         new_table.route_insert(&q);
@@ -207,12 +368,15 @@ mod tests {
 
         let routing = Arc::new(RwLock::new(new_table));
         let old = Arc::new(RwLock::new(Some(old_table)));
-        let mut d = Dispatcher::new(routing, old, metrics);
+        let mut d = Dispatcher::new(routing, old, metrics, 2, 4);
         let (tx0, rx0) = bounded::<WorkerMessage>(16);
         let (tx1, rx1) = bounded::<WorkerMessage>(16);
         let emitter = Emitter::new(vec![tx0, tx1]);
         d.process(
-            Envelope::now(0, StreamRecord::Object(object(1, 7, 1.0, 1.0))),
+            Batch::of_one(Envelope::now(
+                0,
+                StreamRecord::Object(object(1, 7, 1.0, 1.0)),
+            )),
             &emitter,
         );
         assert!(rx0.try_recv().is_ok());

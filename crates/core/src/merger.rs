@@ -6,6 +6,16 @@
 //! temporarily duplicates them across routing tables). The merger removes
 //! those duplicates and delivers the remaining results to the subscribers
 //! (Section III-B).
+//!
+//! Deduplication state is bounded: only the most recent `capacity` objects
+//! keep a per-object set of delivered queries. Eviction is
+//! **insert-order-safe for in-flight objects**: once an object has been
+//! evicted, a late match batch for it is *not* allowed to re-create its
+//! entry — re-registering would forget which queries were already delivered
+//! and double-deliver them, making the deliver-count metrics disagree with
+//! the subscriber channel. Late matches for evicted objects are counted as
+//! suppressed duplicates instead (the deliberate trade-off of a bounded
+//! dedup window).
 
 use crate::messages::MergerMessage;
 use crate::metrics::SystemMetrics;
@@ -25,6 +35,9 @@ pub struct Merger {
     seen: HashMap<ObjectId, HashSet<QueryId>>,
     /// FIFO of objects for bounded-memory eviction.
     order: VecDeque<ObjectId>,
+    /// Objects whose dedup entry was evicted: their late matches must not
+    /// re-register (which would double-deliver previously delivered pairs).
+    evicted: HashSet<ObjectId>,
     /// Maximum number of objects tracked for deduplication.
     capacity: usize,
 }
@@ -42,21 +55,28 @@ impl Merger {
             delivery,
             seen: HashMap::new(),
             order: VecDeque::new(),
+            evicted: HashSet::new(),
             capacity: capacity.max(1),
         }
     }
 
-    fn note_object(&mut self, object: ObjectId) -> &mut HashSet<QueryId> {
+    /// The dedup entry of an object, or `None` when the object was evicted
+    /// (late arrivals must not resurrect it).
+    fn note_object(&mut self, object: ObjectId) -> Option<&mut HashSet<QueryId>> {
+        if self.evicted.contains(&object) {
+            return None;
+        }
         if !self.seen.contains_key(&object) {
             if self.order.len() >= self.capacity {
-                if let Some(evicted) = self.order.pop_front() {
-                    self.seen.remove(&evicted);
+                if let Some(old) = self.order.pop_front() {
+                    self.seen.remove(&old);
+                    self.evicted.insert(old);
                 }
             }
             self.order.push_back(object);
             self.seen.insert(object, HashSet::new());
         }
-        self.seen.get_mut(&object).expect("just inserted")
+        self.seen.get_mut(&object)
     }
 }
 
@@ -65,20 +85,29 @@ impl Operator for Merger {
     type Out = ();
 
     fn process(&mut self, input: MergerMessage, _emitter: &Emitter<()>) {
-        let MergerMessage::Matches(envelope) = input;
-        let latency = envelope.latency();
+        let MergerMessage::Matches(batch) = input;
         let mut delivered = 0u64;
         let mut duplicates = 0u64;
-        for m in &envelope.payload {
-            let per_object = self.note_object(m.object_id);
-            if per_object.insert(m.query_id) {
-                delivered += 1;
-                if let Some(tx) = &self.delivery {
-                    let _ = tx.send(*m);
+        let objects = batch.len() as u64;
+        for envelope in batch {
+            let latency = envelope.latency();
+            for m in &envelope.payload {
+                match self.note_object(m.object_id) {
+                    Some(per_object) => {
+                        if per_object.insert(m.query_id) {
+                            delivered += 1;
+                            if let Some(tx) = &self.delivery {
+                                let _ = tx.send(*m);
+                            }
+                        } else {
+                            duplicates += 1;
+                        }
+                    }
+                    // evicted object: suppress rather than double-deliver
+                    None => duplicates += 1,
                 }
-            } else {
-                duplicates += 1;
             }
+            self.metrics.latency.record(latency);
         }
         self.metrics
             .matches_delivered
@@ -86,8 +115,7 @@ impl Operator for Merger {
         self.metrics
             .duplicates_removed
             .fetch_add(duplicates, Ordering::Relaxed);
-        self.metrics.latency.record(latency);
-        self.metrics.throughput.record(1);
+        self.metrics.throughput.record(objects);
     }
 }
 
@@ -95,16 +123,16 @@ impl Operator for Merger {
 mod tests {
     use super::*;
     use ps2stream_model::SubscriberId;
-    use ps2stream_stream::{unbounded, Envelope};
+    use ps2stream_stream::{unbounded, Batch, Envelope};
 
     fn matches(object: u64, queries: &[u64]) -> MergerMessage {
-        MergerMessage::Matches(Envelope::now(
+        MergerMessage::Matches(Batch::of_one(Envelope::now(
             object,
             queries
                 .iter()
                 .map(|q| MatchResult::new(QueryId(*q), SubscriberId(*q), ObjectId(object)))
                 .collect(),
-        ))
+        )))
     }
 
     #[test]
@@ -120,6 +148,29 @@ mod tests {
         assert_eq!(metrics.duplicates_removed.load(Ordering::Relaxed), 1);
         let delivered: Vec<MatchResult> = rx.try_iter().collect();
         assert_eq!(delivered.len(), 3);
+    }
+
+    #[test]
+    fn batched_matches_are_processed_per_object() {
+        let metrics = SystemMetrics::new(1);
+        let (tx, rx) = unbounded::<MatchResult>();
+        let mut merger = Merger::new(Arc::clone(&metrics), Some(tx), 100);
+        let mut batch = Batch::new();
+        for object in 0..3u64 {
+            batch.push(Envelope::now(
+                object,
+                vec![MatchResult::new(
+                    QueryId(7),
+                    SubscriberId(7),
+                    ObjectId(object),
+                )],
+            ));
+        }
+        merger.process(MergerMessage::Matches(batch), &Emitter::sink());
+        assert_eq!(metrics.matches_delivered.load(Ordering::Relaxed), 3);
+        assert_eq!(metrics.throughput.count(), 3);
+        assert_eq!(metrics.latency.count(), 3);
+        assert_eq!(rx.try_iter().count(), 3);
     }
 
     #[test]
@@ -142,5 +193,31 @@ mod tests {
         // object 3 is still tracked: a duplicate is suppressed
         merger.process(matches(3, &[1]), &emitter);
         assert_eq!(metrics.duplicates_removed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn late_matches_for_evicted_objects_never_double_deliver() {
+        // Regression test: at capacity 1, a match batch for an object
+        // arriving after that object was evicted used to re-create its dedup
+        // entry and re-deliver pairs that had already gone out, so the
+        // metrics and the subscriber channel disagreed.
+        let metrics = SystemMetrics::new(1);
+        let (tx, rx) = unbounded::<MatchResult>();
+        let mut merger = Merger::new(Arc::clone(&metrics), Some(tx), 1);
+        let emitter = Emitter::sink();
+        merger.process(matches(1, &[10]), &emitter); // delivered
+        merger.process(matches(2, &[10]), &emitter); // delivered; evicts object 1
+        merger.process(matches(1, &[10]), &emitter); // late duplicate for evicted object
+        merger.process(matches(1, &[11]), &emitter); // late *new* match: suppressed too
+        let delivered: Vec<MatchResult> = rx.try_iter().collect();
+        assert_eq!(delivered.len(), 2, "no pair may be delivered twice");
+        assert_eq!(
+            metrics.matches_delivered.load(Ordering::Relaxed),
+            delivered.len() as u64,
+            "deliver-count metric must agree with the subscriber channel"
+        );
+        assert_eq!(metrics.duplicates_removed.load(Ordering::Relaxed), 2);
+        // the dedup window itself stays bounded
+        assert!(merger.seen.len() <= 1);
     }
 }

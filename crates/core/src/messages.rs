@@ -4,14 +4,16 @@ use ps2stream_balance::CellLoadInfo;
 use ps2stream_geo::CellId;
 use ps2stream_model::{MatchResult, StreamRecord, StsQuery, WorkerId};
 use ps2stream_partition::WorkerLoad;
-use ps2stream_stream::{Envelope, Sender};
+use ps2stream_stream::{Batch, Sender};
 use ps2stream_text::TermId;
 
 /// A message delivered to a worker executor.
 #[derive(Debug)]
 pub enum WorkerMessage {
-    /// A routed stream record (object to match or query update to apply).
-    Record(Envelope<StreamRecord>),
+    /// A batch of routed stream records (objects to match and query updates
+    /// to apply), in dispatcher order. Each record keeps its own ingestion
+    /// timestamp.
+    Records(Batch<StreamRecord>),
     /// Control: extract the queries of `cell` (restricted to `terms` when
     /// present) and ship them to worker `to` (local load adjustment).
     MigrateCell {
@@ -41,8 +43,10 @@ pub enum WorkerMessage {
 /// A message delivered to a merger executor.
 #[derive(Debug)]
 pub enum MergerMessage {
-    /// Match results produced by a worker for one object.
-    Matches(Envelope<Vec<MatchResult>>),
+    /// A batch of per-object match result sets produced by a worker: each
+    /// record is the envelope of one object's matches (carrying that object's
+    /// ingestion timestamp for latency accounting).
+    Matches(Batch<Vec<MatchResult>>),
 }
 
 /// A worker's answer to [`WorkerMessage::CollectStats`].
@@ -68,15 +72,15 @@ mod tests {
 
     #[test]
     fn worker_message_variants_construct() {
-        let record = WorkerMessage::Record(Envelope::now(
+        let record = WorkerMessage::Records(Batch::of_one(ps2stream_stream::Envelope::now(
             0,
             StreamRecord::Object(SpatioTextualObject::new(
                 ObjectId(1),
                 vec![],
                 Point::origin(),
             )),
-        ));
-        assert!(matches!(record, WorkerMessage::Record(_)));
+        )));
+        assert!(matches!(record, WorkerMessage::Records(_)));
         let migrate = WorkerMessage::MigrateCell {
             cell: CellId::new(1, 2),
             terms: Some(vec![TermId(3)]),

@@ -18,7 +18,9 @@ use parking_lot::RwLock;
 use ps2stream_index::{Gi2Config, Gi2Index};
 use ps2stream_model::{MatchResult, StreamRecord};
 use ps2stream_partition::{HybridPartitioner, Partitioner, RoutingTable, WorkloadSample};
-use ps2stream_stream::{bounded, run_operator, unbounded, Emitter, Envelope, Sender};
+use ps2stream_stream::{
+    bounded, run_operator, unbounded, Batch, BatchingEmitter, Emitter, Envelope, Sender,
+};
 use ps2stream_text::TermStats;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -99,7 +101,11 @@ impl Ps2StreamBuilder {
 
 /// A running PS2Stream deployment.
 pub struct RunningSystem {
-    input: Option<Sender<Envelope<StreamRecord>>>,
+    /// Batching feeder over the system input channel: records accumulate up
+    /// to [`SystemConfig::batch_size`] before travelling (each one already
+    /// carries its own ingestion timestamp). Dropping it (`finish`) closes
+    /// the input and lets the dispatchers drain.
+    input: Option<BatchingEmitter<StreamRecord>>,
     sequence: u64,
     records_in: u64,
     metrics: Arc<SystemMetrics>,
@@ -131,7 +137,7 @@ impl RunningSystem {
         let old_routing: Arc<RwLock<Option<RoutingTable>>> = Arc::new(RwLock::new(None));
 
         // channels
-        let (input_tx, input_rx) = bounded::<Envelope<StreamRecord>>(config.input_capacity);
+        let (input_tx, input_rx) = bounded::<Batch<StreamRecord>>(config.input_capacity);
         let mut worker_txs = Vec::with_capacity(config.num_workers);
         let mut worker_rxs = Vec::with_capacity(config.num_workers);
         for _ in 0..config.num_workers {
@@ -176,6 +182,7 @@ impl RunningSystem {
                 worker_txs.clone(),
                 merger_txs.clone(),
                 Arc::clone(&metrics),
+                config.batch_size,
             );
             workers.push(
                 std::thread::Builder::new()
@@ -195,6 +202,8 @@ impl RunningSystem {
                 Arc::clone(&routing),
                 Arc::clone(&old_routing),
                 Arc::clone(&metrics),
+                config.num_workers,
+                config.batch_size,
             );
             let rx = input_rx.clone();
             let emitter = Emitter::new(worker_txs.clone());
@@ -227,7 +236,10 @@ impl RunningSystem {
         });
 
         Self {
-            input: Some(input_tx),
+            input: Some(BatchingEmitter::new(
+                Emitter::new(vec![input_tx]),
+                config.batch_size,
+            )),
             sequence: 0,
             records_in: 0,
             metrics,
@@ -241,13 +253,23 @@ impl RunningSystem {
         }
     }
 
-    /// Feeds one record into the system, blocking when the input channel is
-    /// full (this is the saturation point used for throughput measurements).
+    /// Feeds one record into the system. Records are stamped immediately but
+    /// travel in batches of [`SystemConfig::batch_size`]; a full batch blocks
+    /// when the input channel is full (this is the saturation point used for
+    /// throughput measurements). Call [`RunningSystem::flush`] to push out a
+    /// partial batch.
     pub fn send(&mut self, record: StreamRecord) {
         self.records_in += 1;
         self.sequence += 1;
-        if let Some(input) = &self.input {
-            let _ = input.send(Envelope::now(self.sequence, record));
+        if let Some(input) = &mut self.input {
+            input.emit_to(0, Envelope::now(self.sequence, record));
+        }
+    }
+
+    /// Sends any partially-filled input batch downstream.
+    pub fn flush(&mut self) {
+        if let Some(input) = &mut self.input {
+            input.flush_all();
         }
     }
 
@@ -269,7 +291,9 @@ impl RunningSystem {
 
     /// Closes the input, drains every executor and returns the final report.
     pub fn finish(mut self) -> RunReport {
-        // 1. close the input: dispatchers drain and terminate
+        // 1. flush the partial input batch, then close the input: dispatchers
+        //    drain and terminate
+        self.flush();
         self.input = None;
         for d in self.dispatchers.drain(..) {
             d.join().expect("dispatcher panicked");

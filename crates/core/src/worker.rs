@@ -11,9 +11,9 @@ use crate::messages::{MergerMessage, WorkerMessage, WorkerStatsReport};
 use crate::metrics::SystemMetrics;
 use ps2stream_balance::{CellLoadInfo, TermLoad};
 use ps2stream_index::Gi2Index;
-use ps2stream_model::{QueryUpdate, StreamRecord, WorkerId};
+use ps2stream_model::{MatchResult, QueryUpdate, StreamRecord, WorkerId};
 use ps2stream_partition::WorkerLoad;
-use ps2stream_stream::{Receiver, Sender};
+use ps2stream_stream::{Batch, BatchBuffer, Receiver, Sender};
 use ps2stream_text::TermId;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -30,17 +30,22 @@ pub struct Worker {
     metrics: Arc<SystemMetrics>,
     /// Tuple counts since the last stats report.
     period_load: WorkerLoad,
+    /// Per-merger buffers of per-object match sets; flushed at the end of
+    /// every input record batch (never held across messages).
+    match_buffer: BatchBuffer<Vec<MatchResult>>,
 }
 
 impl Worker {
-    /// Creates a worker.
+    /// Creates a worker emitting match batches of up to `batch_size` objects.
     pub fn new(
         id: WorkerId,
         index: Gi2Index,
         peers: Vec<Sender<WorkerMessage>>,
         mergers: Vec<Sender<MergerMessage>>,
         metrics: Arc<SystemMetrics>,
+        batch_size: usize,
     ) -> Self {
+        let match_buffer = BatchBuffer::new(mergers.len(), batch_size);
         Self {
             id,
             index,
@@ -48,6 +53,7 @@ impl Worker {
             mergers,
             metrics,
             period_load: WorkerLoad::default(),
+            match_buffer,
         }
     }
 
@@ -56,35 +62,47 @@ impl Worker {
         &self.index
     }
 
-    fn handle_record(&mut self, envelope: ps2stream_stream::Envelope<StreamRecord>) {
-        match &envelope.payload {
-            StreamRecord::Object(o) => {
-                self.period_load.objects += 1;
-                let matches = self.index.match_object(o);
-                if matches.is_empty() {
-                    // tuple finished here
-                    self.metrics.latency.record(envelope.latency());
-                    self.metrics.throughput.record(1);
-                } else {
-                    let merger = (o.id.value() as usize) % self.mergers.len().max(1);
-                    let msg = MergerMessage::Matches(envelope.derive(matches));
-                    if let Some(tx) = self.mergers.get(merger) {
-                        let _ = tx.send(msg);
+    fn send_matches(&self, merger: usize, batch: Batch<Vec<MatchResult>>) {
+        if let Some(tx) = self.mergers.get(merger) {
+            let _ = tx.send(MergerMessage::Matches(batch));
+        }
+    }
+
+    fn handle_records(&mut self, records: Batch<StreamRecord>) {
+        for envelope in records {
+            match &envelope.payload {
+                StreamRecord::Object(o) => {
+                    self.period_load.objects += 1;
+                    let matches = self.index.match_object(o);
+                    if matches.is_empty() {
+                        // tuple finished here
+                        self.metrics.latency.record(envelope.latency());
+                        self.metrics.throughput.record(1);
+                    } else {
+                        let merger = (o.id.value() as usize) % self.mergers.len().max(1);
+                        if let Some(full) = self.match_buffer.push(merger, envelope.derive(matches))
+                        {
+                            self.send_matches(merger, full);
+                        }
                     }
                 }
+                StreamRecord::Update(QueryUpdate::Insert(q)) => {
+                    self.period_load.insertions += 1;
+                    self.index.insert(q.clone());
+                    self.metrics.latency.record(envelope.latency());
+                    self.metrics.throughput.record(1);
+                }
+                StreamRecord::Update(QueryUpdate::Delete(q)) => {
+                    self.period_load.deletions += 1;
+                    self.index.delete(q);
+                    self.metrics.latency.record(envelope.latency());
+                    self.metrics.throughput.record(1);
+                }
             }
-            StreamRecord::Update(QueryUpdate::Insert(q)) => {
-                self.period_load.insertions += 1;
-                self.index.insert(q.clone());
-                self.metrics.latency.record(envelope.latency());
-                self.metrics.throughput.record(1);
-            }
-            StreamRecord::Update(QueryUpdate::Delete(q)) => {
-                self.period_load.deletions += 1;
-                self.index.delete(q);
-                self.metrics.latency.record(envelope.latency());
-                self.metrics.throughput.record(1);
-            }
+        }
+        // flush the partial match batches so no result waits for future input
+        for (merger, batch) in self.match_buffer.flush_all() {
+            self.send_matches(merger, batch);
         }
     }
 
@@ -181,7 +199,7 @@ impl Worker {
     pub fn run(mut self, input: Receiver<WorkerMessage>) -> Self {
         while let Ok(message) = input.recv() {
             match message {
-                WorkerMessage::Record(envelope) => self.handle_record(envelope),
+                WorkerMessage::Records(records) => self.handle_records(records),
                 WorkerMessage::MigrateCell { cell, terms, to } => {
                     self.handle_migrate_out(cell, terms, to)
                 }
@@ -208,7 +226,7 @@ mod tests {
     use ps2stream_geo::{Point, Rect};
     use ps2stream_index::Gi2Config;
     use ps2stream_model::{ObjectId, QueryId, SpatioTextualObject, StsQuery, SubscriberId};
-    use ps2stream_stream::{bounded, unbounded, Envelope};
+    use ps2stream_stream::{bounded, unbounded, Batch, Envelope};
     use ps2stream_text::BooleanExpr;
 
     fn gi2() -> Gi2Index {
@@ -242,48 +260,46 @@ mod tests {
             vec![worker_tx.clone()],
             vec![merger_tx],
             Arc::clone(&metrics),
+            16,
         );
 
         let q = query(1, 7, Rect::from_coords(0.0, 0.0, 8.0, 8.0));
-        worker_tx
-            .send(WorkerMessage::Record(Envelope::now(
-                0,
-                StreamRecord::Update(QueryUpdate::Insert(q.clone())),
-            )))
-            .unwrap();
-        // matching object
-        worker_tx
-            .send(WorkerMessage::Record(Envelope::now(
-                1,
-                StreamRecord::Object(object(10, 7, 2.0, 2.0)),
-            )))
-            .unwrap();
+        // one batch carrying the insert, a matching object and a
         // non-matching object
-        worker_tx
-            .send(WorkerMessage::Record(Envelope::now(
-                2,
-                StreamRecord::Object(object(11, 8, 2.0, 2.0)),
-            )))
-            .unwrap();
+        let mut batch = Batch::new();
+        batch.push(Envelope::now(
+            0,
+            StreamRecord::Update(QueryUpdate::Insert(q.clone())),
+        ));
+        batch.push(Envelope::now(
+            1,
+            StreamRecord::Object(object(10, 7, 2.0, 2.0)),
+        ));
+        batch.push(Envelope::now(
+            2,
+            StreamRecord::Object(object(11, 8, 2.0, 2.0)),
+        ));
+        worker_tx.send(WorkerMessage::Records(batch)).unwrap();
         worker_tx
             .send(WorkerMessage::CollectStats { reply: stats_tx })
             .unwrap();
         // delete, then shut down
         worker_tx
-            .send(WorkerMessage::Record(Envelope::now(
+            .send(WorkerMessage::Records(Batch::of_one(Envelope::now(
                 3,
                 StreamRecord::Update(QueryUpdate::Delete(q)),
-            )))
+            ))))
             .unwrap();
         worker_tx.send(WorkerMessage::Shutdown).unwrap();
 
         let worker = worker.run(worker_rx);
         assert_eq!(worker.index().num_queries(), 0);
 
-        // one match forwarded to the merger
-        let MergerMessage::Matches(env) = merger_rx.try_recv().unwrap();
-        assert_eq!(env.payload.len(), 1);
-        assert_eq!(env.payload[0].query_id, QueryId(1));
+        // one match batch with one object forwarded to the merger
+        let MergerMessage::Matches(matches) = merger_rx.try_recv().unwrap();
+        assert_eq!(matches.len(), 1);
+        assert_eq!(matches.records()[0].payload.len(), 1);
+        assert_eq!(matches.records()[0].payload[0].query_id, QueryId(1));
         assert!(merger_rx.try_recv().is_err());
 
         // the stats report reflects the period before the delete
@@ -314,6 +330,7 @@ mod tests {
             peers.clone(),
             vec![merger_tx.clone()],
             Arc::clone(&metrics),
+            16,
         );
         let worker_b = Worker::new(
             WorkerId(1),
@@ -321,14 +338,15 @@ mod tests {
             peers,
             vec![merger_tx],
             Arc::clone(&metrics),
+            16,
         );
 
         // index a query confined to one cell on worker A
         let q = query(1, 7, Rect::from_coords(0.5, 0.5, 1.5, 1.5));
-        tx_a.send(WorkerMessage::Record(Envelope::now(
+        tx_a.send(WorkerMessage::Records(Batch::of_one(Envelope::now(
             0,
             StreamRecord::Update(QueryUpdate::Insert(q)),
-        )))
+        ))))
         .unwrap();
         // migrate the cell containing (1,1) to worker B
         let cell = worker_a

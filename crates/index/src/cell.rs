@@ -90,6 +90,28 @@ impl CellIndex {
         removed
     }
 
+    /// Removes every posting whose query id satisfies `is_deleted`, across
+    /// **all** terms of the cell. Returns one entry per posting removed (an
+    /// id posted under several terms appears once per removal) so callers can
+    /// settle lazy-deletion pending counts exactly. Used when a cell is
+    /// extracted for migration: tombstoned queries must not survive in the
+    /// cell, or a later re-insert of the same id resurrects them.
+    pub fn purge_all_postings<F: Fn(QueryId) -> bool>(&mut self, is_deleted: F) -> Vec<QueryId> {
+        let mut removed = Vec::new();
+        self.postings.retain(|_, list| {
+            list.retain(|q| {
+                if is_deleted(*q) {
+                    removed.push(*q);
+                    false
+                } else {
+                    true
+                }
+            });
+            !list.is_empty()
+        });
+        removed
+    }
+
     /// Account for the physical removal of a query (after all its postings
     /// have been purged or the cell was migrated away).
     pub fn note_removed(&mut self, query_bytes: usize) {

@@ -72,15 +72,27 @@ impl CellLoadStat {
     }
 }
 
+/// Lazy-deletion record of one deleted query: how many postings are still to
+/// purge, and where they were posted — so a re-insert of the same id can
+/// purge the leftovers eagerly instead of resurrecting them.
+#[derive(Debug, Clone)]
+struct Tombstone {
+    /// Posting entries not yet purged.
+    pending: usize,
+    /// Cells the deleted generation was posted in.
+    cells: Vec<CellId>,
+    /// Terms the deleted generation was posted under.
+    posting_terms: Vec<TermId>,
+}
+
 /// The Grid-Inverted-Index of one worker.
 #[derive(Debug, Clone)]
 pub struct Gi2Index {
     grid: UniformGrid,
     cells: Vec<CellIndex>,
     queries: HashMap<QueryId, StoredQuery>,
-    /// Lazy-deletion table: ids whose postings have not all been purged yet,
-    /// mapped to the number of postings still to purge.
-    tombstones: HashMap<QueryId, usize>,
+    /// Lazy-deletion table: ids whose postings have not all been purged yet.
+    tombstones: HashMap<QueryId, Tombstone>,
     /// Term statistics used to pick the least frequent keyword at insertion.
     stats: TermStats,
     /// Counters for the matching work performed (used by the load model).
@@ -138,12 +150,29 @@ impl Gi2Index {
     /// Inserts an STS query (Section IV-D posting rule). Re-inserting an
     /// existing id replaces the previous version.
     pub fn insert(&mut self, query: StsQuery) {
-        if self.queries.contains_key(&query.id) {
-            self.delete_by_id(query.id);
+        if let Some(old) = self.queries.remove(&query.id) {
+            // Replacing a live id: purge the old postings eagerly. Lazy
+            // tombstoning would be undone the moment the id becomes live
+            // again below, orphaning the old generation's postings forever.
+            for &cell in &old.cells {
+                let idx = self.grid.cell_index(cell);
+                for &t in &old.posting_terms {
+                    self.cells[idx].purge_postings(t, |q| q == query.id);
+                }
+                self.cells[idx].note_removed(old.bytes);
+            }
         }
         // A previously tombstoned id that is re-inserted must stop being
-        // treated as deleted.
-        self.tombstones.remove(&query.id);
+        // treated as deleted — and its not-yet-purged postings must go now,
+        // for the same reason as above.
+        if let Some(tombstone) = self.tombstones.remove(&query.id) {
+            for &cell in &tombstone.cells {
+                let idx = self.grid.cell_index(cell);
+                for &t in &tombstone.posting_terms {
+                    self.cells[idx].purge_postings(t, |q| q == query.id);
+                }
+            }
+        }
         let posting_terms = query
             .keywords
             .representative_terms(|t| self.stats.frequency(t));
@@ -183,7 +212,14 @@ impl Gi2Index {
             pending += stored.posting_terms.len();
         }
         if pending > 0 {
-            self.tombstones.insert(id, pending);
+            self.tombstones.insert(
+                id,
+                Tombstone {
+                    pending,
+                    cells: stored.cells,
+                    posting_terms: stored.posting_terms,
+                },
+            );
         }
         true
     }
@@ -226,15 +262,28 @@ impl Gi2Index {
                 }
             }
         }
+        self.settle_tombstones(purged);
+        results
+    }
+
+    /// Settles lazy-deletion bookkeeping after postings were physically
+    /// purged: each purged entry decrements its query's pending count, and a
+    /// count reaching zero retires the tombstone.
+    fn settle_tombstones(&mut self, purged: Vec<QueryId>) {
         for qid in purged {
-            if let Some(remaining) = self.tombstones.get_mut(&qid) {
-                *remaining = remaining.saturating_sub(1);
-                if *remaining == 0 {
+            if let Some(tombstone) = self.tombstones.get_mut(&qid) {
+                tombstone.pending = tombstone.pending.saturating_sub(1);
+                if tombstone.pending == 0 {
                     self.tombstones.remove(&qid);
                 }
             }
         }
-        results
+    }
+
+    /// Number of query ids awaiting lazy-deletion settlement (exposed for
+    /// tests and memory accounting diagnostics).
+    pub fn pending_tombstones(&self) -> usize {
+        self.tombstones.len()
     }
 
     /// Per-cell load statistics for every non-empty cell, used by the dynamic
@@ -285,12 +334,19 @@ impl Gi2Index {
         filter: F,
     ) -> Vec<StsQuery> {
         let idx = self.grid.cell_index(cell);
+        // Tombstoned queries must not merely be *skipped*: their postings
+        // would stay behind in the extracted cell with their pending counts
+        // unsettled (the cell may never receive another object once it is
+        // migrated away, so the lazy sweep of `match_object` never runs), and
+        // a later `insert` of the same query id removes the tombstone and
+        // resurrects the stale postings. Physically purge them now and settle
+        // the pending counts, exactly like the matching sweep would.
+        let cell_index = &mut self.cells[idx];
+        let purged = cell_index.purge_all_postings(|q| self.tombstones.contains_key(&q));
+        self.settle_tombstones(purged);
         let ids = self.cells[idx].all_queries();
         let mut extracted = Vec::new();
         for qid in ids {
-            if self.tombstones.contains_key(&qid) {
-                continue;
-            }
             let Some(stored) = self.queries.get(&qid) else {
                 continue;
             };
@@ -337,11 +393,17 @@ impl Gi2Index {
                     + 32
             })
             .sum();
-        cells
-            + queries
-            + self.tombstones.len() * 24
-            + self.stats.memory_usage()
-            + std::mem::size_of::<Self>()
+        let tombstones: usize = self
+            .tombstones
+            .values()
+            .map(|t| {
+                std::mem::size_of::<Tombstone>()
+                    + t.cells.len() * std::mem::size_of::<CellId>()
+                    + t.posting_terms.len() * std::mem::size_of::<TermId>()
+                    + 24
+            })
+            .sum();
+        cells + queries + tombstones + self.stats.memory_usage() + std::mem::size_of::<Self>()
     }
 
     /// Iterates over all live queries (used by tests and the global
@@ -523,6 +585,128 @@ mod tests {
         assert_eq!(extracted.len(), 1);
         assert_eq!(extracted[0].id, QueryId(1));
         assert!(idx.contains_query(QueryId(2)));
+    }
+
+    #[test]
+    fn tombstoned_postings_do_not_survive_cell_extraction() {
+        // Regression test for the tombstone-resurrection bug: a query that is
+        // deleted with no matching traffic (its lazy sweep never runs), whose
+        // cell is then migrated out, used to leave its postings in the cell
+        // and its pending count in the tombstone table. Re-inserting the same
+        // QueryId (with a different region and keywords) then removed the
+        // tombstone and resurrected the stale postings.
+        let mut idx = Gi2Index::new(config());
+        // lives in exactly one cell, posted under term 1
+        let q1 = query(1, &[1], Rect::from_coords(0.5, 0.5, 1.5, 1.5));
+        idx.insert(q1.clone());
+        idx.delete(&q1);
+        assert_eq!(idx.pending_tombstones(), 1);
+
+        // migrate the cell out with no object ever having traversed the list
+        let cell = idx.grid().cell_of(&Point::new(1.0, 1.0)).unwrap();
+        let extracted = idx.extract_cell(cell);
+        assert!(extracted.is_empty(), "a deleted query must not migrate");
+        // the pending count is settled, not leaked
+        assert_eq!(idx.pending_tombstones(), 0);
+
+        // re-insert the same id with a different region (elsewhere) and keywords
+        let q1_new = query(1, &[2], Rect::from_coords(40.0, 40.0, 50.0, 50.0));
+        idx.insert(q1_new);
+
+        // an object in the old cell carrying the old keyword must not match —
+        // and must not even reach a candidate check against a resurrected
+        // stale posting
+        let checked_before = idx.matches_checked();
+        let results = idx.match_object(&object(7, &[1], 1.0, 1.0));
+        assert!(results.is_empty(), "stale posting resurrected a match");
+        assert_eq!(
+            idx.matches_checked(),
+            checked_before,
+            "a stale posting of the old generation was traversed as a candidate"
+        );
+
+        // a second extraction of the old cell must not ship the new query
+        let re_extracted = idx.extract_cell(cell);
+        assert!(re_extracted.is_empty());
+        assert!(idx.contains_query(QueryId(1)));
+        // the re-inserted query still works where it actually lives
+        assert_eq!(idx.match_object(&object(8, &[2], 45.0, 45.0)).len(), 1);
+    }
+
+    #[test]
+    fn replacing_a_live_id_purges_the_old_generation_postings() {
+        // Re-inserting a live id (the replacement path, also exercised by
+        // cell migration when a spanning query is re-shipped to a worker that
+        // already holds it) must physically remove the old postings: the old
+        // generation was tombstoned-then-untombstoned before, orphaning its
+        // postings forever.
+        let mut idx = Gi2Index::new(config());
+        idx.insert(query(1, &[1], Rect::from_coords(0.5, 0.5, 1.5, 1.5)));
+        // replace with a different region and keywords
+        idx.insert(query(1, &[2], Rect::from_coords(40.0, 40.0, 50.0, 50.0)));
+        assert_eq!(idx.num_queries(), 1);
+        assert_eq!(idx.pending_tombstones(), 0);
+
+        // nothing of the old generation is traversed in the old cell
+        let checked_before = idx.matches_checked();
+        assert!(idx.match_object(&object(1, &[1], 1.0, 1.0)).is_empty());
+        assert_eq!(idx.matches_checked(), checked_before);
+
+        // the old cell ships nothing when migrated out
+        let old_cell = idx.grid().cell_of(&Point::new(1.0, 1.0)).unwrap();
+        assert!(idx.extract_cell(old_cell).is_empty());
+        assert!(idx.contains_query(QueryId(1)));
+
+        // re-inserting the same content repeatedly must not grow the posting
+        // lists (no duplicate entries in the shared cell)
+        let q = query(2, &[3], Rect::from_coords(0.0, 0.0, 10.0, 10.0));
+        idx.insert(q.clone());
+        let mem_once = idx.memory_usage();
+        for _ in 0..10 {
+            idx.insert(q.clone());
+        }
+        assert_eq!(idx.memory_usage(), mem_once);
+        assert_eq!(idx.match_object(&object(2, &[3], 5.0, 5.0)).len(), 1);
+    }
+
+    #[test]
+    fn reinserting_a_tombstoned_id_purges_the_stale_postings() {
+        // delete (no matching traffic) then re-insert with a different
+        // region: the tombstoned generation's postings must not linger as
+        // live-looking entries once the tombstone is removed.
+        let mut idx = Gi2Index::new(config());
+        idx.insert(query(1, &[1], Rect::from_coords(0.5, 0.5, 1.5, 1.5)));
+        idx.delete(&query(1, &[1], Rect::from_coords(0.5, 0.5, 1.5, 1.5)));
+        assert_eq!(idx.pending_tombstones(), 1);
+        idx.insert(query(1, &[1], Rect::from_coords(40.0, 40.0, 50.0, 50.0)));
+        assert_eq!(idx.pending_tombstones(), 0);
+        // the old cell holds nothing any more
+        let checked_before = idx.matches_checked();
+        assert!(idx.match_object(&object(1, &[1], 1.0, 1.0)).is_empty());
+        assert_eq!(idx.matches_checked(), checked_before);
+        let old_cell = idx.grid().cell_of(&Point::new(1.0, 1.0)).unwrap();
+        assert!(idx.extract_cell(old_cell).is_empty());
+        // the new generation works where it lives
+        assert_eq!(idx.match_object(&object(2, &[1], 45.0, 45.0)).len(), 1);
+    }
+
+    #[test]
+    fn extraction_settles_tombstones_of_multi_cell_queries() {
+        // A deleted query spanning two cells: extracting one cell settles only
+        // that cell's share of the pending count; the other cell's share is
+        // settled by the lazy sweep when an object arrives there.
+        let mut idx = Gi2Index::new(config());
+        // spans cells (0,0) and (1,0): x in [0.5, 6.5] crosses the 4.0 cell border
+        let q = query(1, &[1], Rect::from_coords(0.5, 0.5, 6.5, 1.5));
+        idx.insert(q.clone());
+        idx.delete(&q);
+        assert_eq!(idx.pending_tombstones(), 1);
+        let left = idx.grid().cell_of(&Point::new(1.0, 1.0)).unwrap();
+        assert!(idx.extract_cell(left).is_empty());
+        // still pending: the right cell's posting is not purged yet
+        assert_eq!(idx.pending_tombstones(), 1);
+        let _ = idx.match_object(&object(1, &[1], 5.0, 1.0));
+        assert_eq!(idx.pending_tombstones(), 0);
     }
 
     #[test]

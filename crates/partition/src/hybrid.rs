@@ -795,7 +795,7 @@ mod tests {
     #[test]
     fn hybrid_never_misses_matches() {
         let sample = figure2_sample();
-        let mut table = HybridPartitioner::default().partition(&sample, 8);
+        let table = HybridPartitioner::default().partition(&sample, 8);
         let query_workers: Vec<Vec<WorkerId>> = sample
             .insertions()
             .iter()

@@ -13,6 +13,7 @@
 pub mod hybrid;
 pub mod load;
 pub mod partitioner;
+pub mod registry;
 pub mod routing;
 pub mod sample;
 pub mod space;
@@ -21,6 +22,7 @@ pub mod text;
 pub use hybrid::{HybridConfig, HybridPartitioner};
 pub use load::{CostConstants, DistributionSummary, WorkerLoad};
 pub use partitioner::{balanced_assignment, evaluate_distribution, Partitioner};
+pub use registry::TermRegistry;
 pub use routing::{CellRouting, RoutingTable, TermRouting};
 pub use sample::WorkloadSample;
 pub use space::{GridPartitioner, KdTreePartitioner, RTreePartitioner};
@@ -107,7 +109,7 @@ mod proptests {
                 queries.clone(),
             );
             for p in all_partitioners() {
-                let mut table = p.partition(&sample, workers);
+                let table = p.partition(&sample, workers);
                 prop_assert_eq!(table.num_workers(), workers);
                 let query_workers: Vec<Vec<WorkerId>> =
                     queries.iter().map(|q| table.route_insert(q)).collect();

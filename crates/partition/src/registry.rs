@@ -1,0 +1,271 @@
+//! The sharded, read-mostly query-term registry (`H2`).
+//!
+//! The gridt routing table registers, for every cell, the set of terms under
+//! which at least one STS query is posted: objects carrying none of their
+//! cell's registered terms are discarded at the dispatcher (Section IV-C).
+//! With several dispatcher executors sharing one routing table, maintaining
+//! those per-cell sets behind the table's `RwLock` forces every query
+//! insertion to take a **write** lock on the whole table, serializing the
+//! ingest path.
+//!
+//! [`TermRegistry`] moves `H2` into a fixed array of small shards keyed by a
+//! hash of the cell; each shard maps its cells to their registered term sets.
+//! Lookups take one shard read lock; registrations take a shard read lock
+//! first and only upgrade to that shard's write lock when the term is new to
+//! the cell — in steady state (the live query population stabilizes around µ,
+//! Section VI-A) almost every insertion hits the read-only fast path, and
+//! writes that do happen contend on 1/64th of the table at worst. A per-cell
+//! atomic counter preserves the "cell has no registered term at all" early
+//! discard without touching any shard, and enumerating one cell's terms (the
+//! control path of the load adjustment) reads a single shard.
+
+use parking_lot::RwLock;
+use ps2stream_text::TermId;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of shards; a fixed power of two so the shard of a cell is a mask
+/// away from its hash.
+const NUM_SHARDS: usize = 64;
+
+/// The sharded per-cell term sets backing the `H2` filters of the routing
+/// table. All methods take `&self`.
+pub struct TermRegistry {
+    /// Each shard maps cell index → registered terms of that cell.
+    shards: Vec<RwLock<HashMap<u32, HashSet<TermId>>>>,
+    /// Number of distinct terms registered per cell (early-discard fast path).
+    cell_counts: Vec<AtomicUsize>,
+}
+
+impl TermRegistry {
+    /// Creates an empty registry for `num_cells` grid cells.
+    pub fn new(num_cells: usize) -> Self {
+        let mut shards = Vec::with_capacity(NUM_SHARDS);
+        shards.resize_with(NUM_SHARDS, || RwLock::new(HashMap::new()));
+        let mut cell_counts = Vec::with_capacity(num_cells);
+        cell_counts.resize_with(num_cells, AtomicUsize::default);
+        Self {
+            shards,
+            cell_counts,
+        }
+    }
+
+    #[inline]
+    fn shard_of(cell: u32) -> usize {
+        // Fibonacci hashing: cheap and well-distributed for dense cell ids.
+        ((cell as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & (NUM_SHARDS - 1)
+    }
+
+    /// Returns true if `term` is registered in `cell`.
+    #[inline]
+    pub fn contains(&self, cell: u32, term: TermId) -> bool {
+        self.shards[Self::shard_of(cell)]
+            .read()
+            .get(&cell)
+            .is_some_and(|terms| terms.contains(&term))
+    }
+
+    /// Returns true if the cell has no registered term at all (objects in it
+    /// are discarded without consulting any shard).
+    #[inline]
+    pub fn cell_is_empty(&self, cell: usize) -> bool {
+        self.cell_counts
+            .get(cell)
+            .is_none_or(|c| c.load(Ordering::Relaxed) == 0)
+    }
+
+    /// Registers `term` in `cell`. Read-only when the pair is already present
+    /// (the steady-state fast path); otherwise takes one shard write lock.
+    /// Returns true if the pair was newly registered.
+    pub fn insert(&self, cell: u32, term: TermId) -> bool {
+        let shard = &self.shards[Self::shard_of(cell)];
+        if shard
+            .read()
+            .get(&cell)
+            .is_some_and(|terms| terms.contains(&term))
+        {
+            return false;
+        }
+        let inserted = shard.write().entry(cell).or_default().insert(term);
+        if inserted {
+            if let Some(count) = self.cell_counts.get(cell as usize) {
+                count.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inserted
+    }
+
+    /// Probes several terms of one cell under a **single** shard read lock,
+    /// calling `f` for each registered term in order; `f` returns false to
+    /// stop early. This is the object hot path: one lock acquisition per
+    /// object instead of one per term.
+    pub fn probe_terms(&self, cell: u32, terms: &[TermId], mut f: impl FnMut(TermId) -> bool) {
+        let shard = self.shards[Self::shard_of(cell)].read();
+        let Some(registered) = shard.get(&cell) else {
+            return;
+        };
+        for &t in terms {
+            if registered.contains(&t) && !f(t) {
+                break;
+            }
+        }
+    }
+
+    /// The registered terms of one cell (one shard read lock; used by the
+    /// control path of the dynamic load adjustment).
+    pub fn terms_of_cell(&self, cell: u32) -> HashSet<TermId> {
+        if self.cell_is_empty(cell as usize) {
+            return HashSet::new();
+        }
+        self.shards[Self::shard_of(cell)]
+            .read()
+            .get(&cell)
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Total number of `(cell, term)` registrations.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.read().values().map(HashSet::len).sum::<usize>())
+            .sum()
+    }
+
+    /// Returns true if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.cell_counts
+            .iter()
+            .all(|c| c.load(Ordering::Relaxed) == 0)
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_usage(&self) -> usize {
+        let cells_with_terms: usize = self.shards.iter().map(|s| s.read().len()).sum();
+        std::mem::size_of::<Self>()
+            + self.shards.len() * std::mem::size_of::<RwLock<HashMap<u32, HashSet<TermId>>>>()
+            + cells_with_terms
+                * (std::mem::size_of::<u32>() + std::mem::size_of::<HashSet<TermId>>())
+            + self.len() * (std::mem::size_of::<TermId>() + 16)
+            + self.cell_counts.len() * std::mem::size_of::<AtomicUsize>()
+    }
+}
+
+impl Clone for TermRegistry {
+    fn clone(&self) -> Self {
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| RwLock::new(s.read().clone()))
+            .collect();
+        let cell_counts = self
+            .cell_counts
+            .iter()
+            .map(|c| AtomicUsize::new(c.load(Ordering::Relaxed)))
+            .collect();
+        Self {
+            shards,
+            cell_counts,
+        }
+    }
+}
+
+impl std::fmt::Debug for TermRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TermRegistry")
+            .field("registrations", &self.len())
+            .field("cells", &self.cell_counts.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn insert_and_contains() {
+        let r = TermRegistry::new(16);
+        assert!(r.is_empty());
+        assert!(r.cell_is_empty(3));
+        assert!(r.insert(3, TermId(7)));
+        assert!(!r.insert(3, TermId(7))); // idempotent
+        assert!(r.contains(3, TermId(7)));
+        assert!(!r.contains(3, TermId(8)));
+        assert!(!r.contains(4, TermId(7)));
+        assert!(!r.cell_is_empty(3));
+        assert!(r.cell_is_empty(4));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn terms_of_cell_is_per_cell() {
+        let r = TermRegistry::new(8);
+        for t in 0..100u32 {
+            r.insert(5, TermId(t));
+        }
+        r.insert(6, TermId(1));
+        let terms = r.terms_of_cell(5);
+        assert_eq!(terms.len(), 100);
+        assert!(terms.contains(&TermId(42)));
+        assert_eq!(r.terms_of_cell(6).len(), 1);
+        assert_eq!(r.terms_of_cell(7).len(), 0);
+        assert_eq!(r.len(), 101);
+    }
+
+    #[test]
+    fn probe_terms_filters_and_stops_early() {
+        let r = TermRegistry::new(8);
+        r.insert(2, TermId(1));
+        r.insert(2, TermId(3));
+        let mut seen = Vec::new();
+        r.probe_terms(2, &[TermId(0), TermId(1), TermId(2), TermId(3)], |t| {
+            seen.push(t);
+            true
+        });
+        assert_eq!(seen, vec![TermId(1), TermId(3)]);
+        // early exit after the first registered term
+        let mut seen = Vec::new();
+        r.probe_terms(2, &[TermId(1), TermId(3)], |t| {
+            seen.push(t);
+            false
+        });
+        assert_eq!(seen, vec![TermId(1)]);
+        // unregistered cell probes nothing
+        r.probe_terms(5, &[TermId(1)], |_| panic!("cell 5 has no terms"));
+    }
+
+    #[test]
+    fn clone_is_a_deep_snapshot() {
+        let r = TermRegistry::new(4);
+        r.insert(1, TermId(1));
+        let snapshot = r.clone();
+        r.insert(1, TermId(2));
+        assert!(snapshot.contains(1, TermId(1)));
+        assert!(!snapshot.contains(1, TermId(2)));
+        assert!(r.contains(1, TermId(2)));
+    }
+
+    #[test]
+    fn concurrent_registration_under_shared_reference() {
+        let r = Arc::new(TermRegistry::new(64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for i in 0..500u32 {
+                        // every thread registers the same pairs: heavy collisions
+                        r.insert(i % 64, TermId(i % 250));
+                        assert!(r.contains(i % 64, TermId(i % 250)));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // (i % 64, i % 250) is injective over 0..500 (lcm(64, 250) > 500)
+        assert_eq!(r.len(), 500);
+    }
+}

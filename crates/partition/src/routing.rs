@@ -17,6 +17,7 @@
 //! * hybrid partitioning — a mix of both, some cells having their own
 //!   term→worker map.
 
+use crate::registry::TermRegistry;
 use ps2stream_geo::{CellId, Rect, UniformGrid};
 use ps2stream_model::{SpatioTextualObject, StsQuery, WorkerId};
 use ps2stream_text::{TermId, TermStats};
@@ -109,13 +110,20 @@ impl CellRouting {
 
 /// The dispatcher routing table: a uniform grid of [`CellRouting`]s plus the
 /// per-cell `H2` query-term filters.
+///
+/// The `H2` filters live in a sharded, read-mostly [`TermRegistry`], so
+/// [`RoutingTable::route_insert`] takes `&self`: several dispatcher executors
+/// sharing this table behind an `RwLock` route objects, insertions **and**
+/// deletions under read locks; the table-level write lock is only needed for
+/// the control-path mutations of the dynamic load adjustment
+/// ([`RoutingTable::reassign_cell`], [`RoutingTable::split_cell_by_terms`]).
 #[derive(Debug, Clone)]
 pub struct RoutingTable {
     grid: UniformGrid,
     cells: Vec<CellRouting>,
     /// `H2`: for each cell, the terms under which at least one registered
     /// query is posted. Objects containing none of these terms are discarded.
-    query_terms: Vec<HashSet<TermId>>,
+    query_terms: TermRegistry,
     num_workers: usize,
     /// Object term frequencies used to pick the least frequent keyword when
     /// routing queries.
@@ -141,7 +149,7 @@ impl RoutingTable {
             "RoutingTable: one CellRouting required per grid cell"
         );
         assert!(num_workers > 0, "RoutingTable requires at least one worker");
-        let query_terms = vec![HashSet::new(); cells.len()];
+        let query_terms = TermRegistry::new(cells.len());
         Self {
             grid,
             cells,
@@ -180,9 +188,11 @@ impl RoutingTable {
         &self.cells[self.grid.cell_index(cell)]
     }
 
-    /// The registered query terms (`H2`) of one cell.
-    pub fn cell_query_terms(&self, cell: CellId) -> &HashSet<TermId> {
-        &self.query_terms[self.grid.cell_index(cell)]
+    /// The registered query terms (`H2`) of one cell (a control-path
+    /// snapshot; the hot path uses per-term membership probes instead).
+    pub fn cell_query_terms(&self, cell: CellId) -> HashSet<TermId> {
+        self.query_terms
+            .terms_of_cell(self.grid.cell_index(cell) as u32)
     }
 
     /// Routes a spatio-textual object: the set of workers that must receive
@@ -193,32 +203,31 @@ impl RoutingTable {
             return Vec::new();
         };
         let idx = self.grid.cell_index(cell);
-        let h2 = &self.query_terms[idx];
-        if h2.is_empty() {
+        if self.query_terms.cell_is_empty(idx) {
             return Vec::new();
         }
         let routing = &self.cells[idx];
         let mut workers: Vec<WorkerId> = Vec::with_capacity(2);
-        for &term in &object.terms {
-            if !h2.contains(&term) {
-                continue;
-            }
-            let w = routing.worker_for(term);
-            if !workers.contains(&w) {
-                workers.push(w);
-            }
-            if let CellRouting::Single(_) = routing {
-                // every registered term maps to the same worker; no need to
-                // continue scanning.
-                break;
-            }
-        }
+        self.query_terms
+            .probe_terms(idx as u32, &object.terms, |term| {
+                let w = routing.worker_for(term);
+                if !workers.contains(&w) {
+                    workers.push(w);
+                }
+                // a Single cell maps every registered term to the same
+                // worker; no need to continue scanning.
+                !matches!(routing, CellRouting::Single(_))
+            });
         workers
     }
 
     /// Routes an STS query insertion: the set of workers that must index it.
     /// Updates the per-cell `H2` filters with the query's posting terms.
-    pub fn route_insert(&mut self, query: &StsQuery) -> Vec<WorkerId> {
+    ///
+    /// Takes `&self`: the `H2` registration goes through the sharded
+    /// [`TermRegistry`], so concurrent dispatchers insert queries without a
+    /// table-level write lock (the steady-state requirement of Section IV-C).
+    pub fn route_insert(&self, query: &StsQuery) -> Vec<WorkerId> {
         let rep_terms = query
             .keywords
             .representative_terms(|t| self.object_stats.frequency(t));
@@ -227,7 +236,7 @@ impl RoutingTable {
         for cell in cells {
             let idx = self.grid.cell_index(cell);
             for &t in &rep_terms {
-                self.query_terms[idx].insert(t);
+                self.query_terms.insert(idx as u32, t);
                 let w = self.cells[idx].worker_for(t);
                 if !workers.contains(&w) {
                     workers.push(w);
@@ -287,7 +296,7 @@ impl RoutingTable {
     pub fn cell_worker_terms(&self, cell: CellId) -> HashMap<WorkerId, Vec<TermId>> {
         let idx = self.grid.cell_index(cell);
         let mut out: HashMap<WorkerId, Vec<TermId>> = HashMap::new();
-        for &t in &self.query_terms[idx] {
+        for t in self.query_terms.terms_of_cell(idx as u32) {
             out.entry(self.cells[idx].worker_for(t))
                 .or_default()
                 .push(t);
@@ -313,10 +322,7 @@ impl RoutingTable {
                 CellRouting::OwnedTerms(owned) => total += owned.memory_usage(),
             }
         }
-        for h2 in &self.query_terms {
-            total += std::mem::size_of::<HashSet<TermId>>()
-                + h2.len() * (std::mem::size_of::<TermId>() + 16);
-        }
+        total += self.query_terms.memory_usage();
         total
     }
 
@@ -380,7 +386,7 @@ mod tests {
 
     #[test]
     fn objects_without_registered_terms_are_discarded() {
-        let mut table = split_table();
+        let table = split_table();
         assert!(table.route_object(&obj(&[1], 1.0, 1.0)).is_empty());
         table.route_insert(&qry(1, &[1], Rect::from_coords(0.0, 0.0, 4.0, 4.0)));
         assert_eq!(table.route_object(&obj(&[1], 1.0, 1.0)), vec![WorkerId(0)]);
@@ -389,8 +395,27 @@ mod tests {
     }
 
     #[test]
+    fn insertions_route_through_a_shared_reference() {
+        // The steady-state guarantee of the batched dispatcher design: query
+        // insertion requires no exclusive access to the routing table. This
+        // compiles only while `route_insert` takes `&self`.
+        let table = split_table();
+        let shared: &RoutingTable = &table;
+        std::thread::scope(|scope| {
+            for i in 0..4u64 {
+                scope.spawn(move || {
+                    let q = qry(i, &[i as u32 + 1], Rect::from_coords(0.0, 0.0, 4.0, 4.0));
+                    assert_eq!(shared.route_insert(&q), vec![WorkerId(0)]);
+                });
+            }
+        });
+        // the registrations are visible to object routing
+        assert_eq!(shared.route_object(&obj(&[1], 1.0, 1.0)), vec![WorkerId(0)]);
+    }
+
+    #[test]
     fn space_partitioned_query_goes_to_every_overlapped_worker() {
-        let mut table = split_table();
+        let table = split_table();
         let q = qry(1, &[5], Rect::from_coords(6.0, 6.0, 10.0, 10.0));
         let mut workers = table.route_insert(&q);
         workers.sort();
@@ -403,7 +428,7 @@ mod tests {
 
     #[test]
     fn object_routed_to_cell_owner_only() {
-        let mut table = split_table();
+        let table = split_table();
         table.route_insert(&qry(1, &[7], Rect::from_coords(0.0, 0.0, 16.0, 16.0)));
         assert_eq!(table.route_object(&obj(&[7], 1.0, 1.0)), vec![WorkerId(0)]);
         assert_eq!(table.route_object(&obj(&[7], 15.0, 1.0)), vec![WorkerId(1)]);
@@ -421,7 +446,7 @@ mod tests {
         let cells: Vec<CellRouting> = (0..grid.num_cells())
             .map(|_| CellRouting::SharedTerms(Arc::clone(&shared)))
             .collect();
-        let mut table = RoutingTable::new(grid, cells, 2, Arc::new(TermStats::new()), "test-text");
+        let table = RoutingTable::new(grid, cells, 2, Arc::new(TermStats::new()), "test-text");
 
         table.route_insert(&qry(1, &[1], Rect::from_coords(0.0, 0.0, 16.0, 16.0)));
         table.route_insert(&qry(2, &[2], Rect::from_coords(0.0, 0.0, 16.0, 16.0)));
@@ -450,7 +475,7 @@ mod tests {
         let cells: Vec<CellRouting> = (0..grid.num_cells())
             .map(|_| CellRouting::SharedTerms(Arc::clone(&shared)))
             .collect();
-        let mut table = RoutingTable::new(grid, cells, 2, Arc::new(stats), "test");
+        let table = RoutingTable::new(grid, cells, 2, Arc::new(stats), "test");
         // AND query: routed only under its least frequent keyword (term 2)
         let ws = table.route_insert(&qry(1, &[1, 2], Rect::from_coords(0.0, 0.0, 3.0, 3.0)));
         assert_eq!(ws, vec![WorkerId(1)]);
@@ -470,7 +495,7 @@ mod tests {
         let cells: Vec<CellRouting> = (0..grid.num_cells())
             .map(|_| CellRouting::SharedTerms(Arc::clone(&shared)))
             .collect();
-        let mut table = RoutingTable::new(grid, cells, 2, Arc::new(TermStats::new()), "test");
+        let table = RoutingTable::new(grid, cells, 2, Arc::new(TermStats::new()), "test");
         let q = StsQuery::new(
             QueryId(1),
             SubscriberId(1),

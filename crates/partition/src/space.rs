@@ -293,7 +293,7 @@ mod tests {
             &KdTreePartitioner::default(),
             &RTreePartitioner::default(),
         ] {
-            let mut table = p.partition(&sample, 4);
+            let table = p.partition(&sample, 4);
             let query_workers: Vec<Vec<WorkerId>> = sample
                 .insertions()
                 .iter()

@@ -379,7 +379,7 @@ mod tests {
             &HypergraphPartitioner::default(),
             &MetricPartitioner::default(),
         ] {
-            let mut table = p.partition(&sample, 4);
+            let table = p.partition(&sample, 4);
             let query_workers: Vec<Vec<WorkerId>> = sample
                 .insertions()
                 .iter()

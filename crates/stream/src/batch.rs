@@ -1,0 +1,275 @@
+//! Batched message envelopes.
+//!
+//! The hot path of the pipeline is dominated by per-tuple channel operations
+//! when every record travels alone: one `send`, one `recv` and one wake-up per
+//! tuple. Following the amortized-maintenance design of FAST-style streaming
+//! indexes, tuples are grouped into [`Batch`]es — each record keeps its **own**
+//! ingestion timestamp (latency accounting is still per tuple), only the
+//! channel traffic is amortized.
+//!
+//! Two helpers build batches:
+//!
+//! * [`BatchBuffer`] — per-output accumulation buffers with a record-count
+//!   flush threshold, for operators whose output channel carries an enum
+//!   wrapping the batch (the dispatcher's per-worker reorder buffers, the
+//!   worker's per-merger match buffers);
+//! * [`BatchingEmitter`] — an [`Emitter`]-like façade over channels that carry
+//!   `Batch<T>` directly.
+
+use crate::envelope::Envelope;
+use crate::operator::Emitter;
+
+/// An ordered group of enveloped records travelling through one channel
+/// operation. Records keep their individual ingestion timestamps and sequence
+/// numbers.
+#[derive(Debug, Clone, Default)]
+pub struct Batch<T> {
+    records: Vec<Envelope<T>>,
+}
+
+impl<T> Batch<T> {
+    /// Creates an empty batch.
+    pub fn new() -> Self {
+        Self {
+            records: Vec::new(),
+        }
+    }
+
+    /// Creates an empty batch with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            records: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Wraps a single envelope (the degenerate batch of size one).
+    pub fn of_one(envelope: Envelope<T>) -> Self {
+        Self {
+            records: vec![envelope],
+        }
+    }
+
+    /// Builds a batch from already-enveloped records.
+    pub fn from_records(records: Vec<Envelope<T>>) -> Self {
+        Self { records }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, envelope: Envelope<T>) {
+        self.records.push(envelope);
+    }
+
+    /// Number of records in the batch.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns true when the batch holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The records of the batch, in arrival order.
+    pub fn records(&self) -> &[Envelope<T>] {
+        &self.records
+    }
+
+    /// Iterates over the records.
+    pub fn iter(&self) -> std::slice::Iter<'_, Envelope<T>> {
+        self.records.iter()
+    }
+}
+
+impl<T> IntoIterator for Batch<T> {
+    type Item = Envelope<T>;
+    type IntoIter = std::vec::IntoIter<Envelope<T>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.into_iter()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Batch<T> {
+    type Item = &'a Envelope<T>;
+    type IntoIter = std::slice::Iter<'a, Envelope<T>>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.records.iter()
+    }
+}
+
+/// Per-output accumulation buffers with a record-count flush threshold.
+///
+/// Operators that fan records out to several downstream channels push each
+/// routed record here; `push` hands back a full [`Batch`] as soon as an
+/// output's buffer reaches the configured size, and `flush_all` drains the
+/// remainders (called at the end of an input batch or at operator shutdown so
+/// no record is ever held back indefinitely).
+#[derive(Debug)]
+pub struct BatchBuffer<T> {
+    buffers: Vec<Vec<Envelope<T>>>,
+    batch_size: usize,
+}
+
+impl<T> BatchBuffer<T> {
+    /// Creates buffers for `num_outputs` downstream channels flushing every
+    /// `batch_size` records (a size of 0 behaves like 1: immediate flush).
+    pub fn new(num_outputs: usize, batch_size: usize) -> Self {
+        let mut buffers = Vec::with_capacity(num_outputs);
+        buffers.resize_with(num_outputs, Vec::new);
+        Self {
+            buffers,
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    /// The configured flush threshold in records.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Appends a record to the buffer of `output`; returns the full batch to
+    /// send when the buffer reached the flush threshold.
+    pub fn push(&mut self, output: usize, envelope: Envelope<T>) -> Option<Batch<T>> {
+        let buffer = self.buffers.get_mut(output)?;
+        buffer.push(envelope);
+        if buffer.len() >= self.batch_size {
+            return Some(Batch::from_records(std::mem::take(buffer)));
+        }
+        None
+    }
+
+    /// Drains the buffer of one output, if non-empty.
+    pub fn flush(&mut self, output: usize) -> Option<Batch<T>> {
+        let buffer = self.buffers.get_mut(output)?;
+        if buffer.is_empty() {
+            return None;
+        }
+        Some(Batch::from_records(std::mem::take(buffer)))
+    }
+
+    /// Drains every non-empty buffer, returning `(output, batch)` pairs.
+    pub fn flush_all(&mut self) -> Vec<(usize, Batch<T>)> {
+        let mut out = Vec::new();
+        for (i, buffer) in self.buffers.iter_mut().enumerate() {
+            if !buffer.is_empty() {
+                out.push((i, Batch::from_records(std::mem::take(buffer))));
+            }
+        }
+        out
+    }
+
+    /// Total number of records currently buffered across all outputs.
+    pub fn pending(&self) -> usize {
+        self.buffers.iter().map(Vec::len).sum()
+    }
+}
+
+/// An emitter over channels carrying `Batch<T>` directly: single records go
+/// in, batches come out once the per-output threshold is reached.
+#[derive(Debug)]
+pub struct BatchingEmitter<T> {
+    emitter: Emitter<Batch<T>>,
+    buffer: BatchBuffer<T>,
+}
+
+impl<T> BatchingEmitter<T> {
+    /// Wraps an emitter, flushing each output every `batch_size` records.
+    pub fn new(emitter: Emitter<Batch<T>>, batch_size: usize) -> Self {
+        let buffer = BatchBuffer::new(emitter.num_outputs(), batch_size);
+        Self { emitter, buffer }
+    }
+
+    /// Buffers one record towards `output`, sending a batch downstream when
+    /// the buffer fills up.
+    pub fn emit_to(&mut self, output: usize, envelope: Envelope<T>) {
+        if let Some(batch) = self.buffer.push(output, envelope) {
+            self.emitter.emit_to(output, batch);
+        }
+    }
+
+    /// Flushes every partially-filled buffer downstream.
+    pub fn flush_all(&mut self) {
+        for (output, batch) in self.buffer.flush_all() {
+            self.emitter.emit_to(output, batch);
+        }
+    }
+
+    /// Records buffered but not yet sent.
+    pub fn pending(&self) -> usize {
+        self.buffer.pending()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::operator::Emitter;
+    use crossbeam_channel::bounded;
+
+    #[test]
+    fn batch_keeps_per_record_timestamps() {
+        let e1 = Envelope::now(1, "a");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let e2 = Envelope::now(2, "b");
+        let ts1 = e1.ingested_at;
+        let ts2 = e2.ingested_at;
+        assert!(ts2 > ts1);
+        let mut batch = Batch::new();
+        batch.push(e1);
+        batch.push(e2);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.records()[0].ingested_at, ts1);
+        assert_eq!(batch.records()[1].ingested_at, ts2);
+        let seqs: Vec<u64> = batch.into_iter().map(|e| e.sequence).collect();
+        assert_eq!(seqs, vec![1, 2]);
+    }
+
+    #[test]
+    fn batch_of_one_and_from_records() {
+        let b = Batch::of_one(Envelope::now(7, 42u32));
+        assert_eq!(b.len(), 1);
+        assert!(!b.is_empty());
+        let b2: Batch<u32> = Batch::from_records(vec![]);
+        assert!(b2.is_empty());
+    }
+
+    #[test]
+    fn buffer_flushes_at_threshold() {
+        let mut buf: BatchBuffer<u32> = BatchBuffer::new(2, 3);
+        assert!(buf.push(0, Envelope::now(0, 1)).is_none());
+        assert!(buf.push(0, Envelope::now(1, 2)).is_none());
+        let full = buf.push(0, Envelope::now(2, 3)).expect("threshold reached");
+        assert_eq!(full.len(), 3);
+        // the other output is untouched
+        assert!(buf.push(1, Envelope::now(3, 9)).is_none());
+        assert_eq!(buf.pending(), 1);
+        let rest = buf.flush_all();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].0, 1);
+        assert_eq!(rest[0].1.len(), 1);
+        assert_eq!(buf.pending(), 0);
+    }
+
+    #[test]
+    fn buffer_ignores_unknown_outputs_and_clamps_zero_size() {
+        let mut buf: BatchBuffer<u32> = BatchBuffer::new(1, 0);
+        assert!(buf.push(9, Envelope::now(0, 1)).is_none());
+        assert!(buf.flush(9).is_none());
+        // batch size 0 behaves like 1
+        assert!(buf.push(0, Envelope::now(0, 1)).is_some());
+    }
+
+    #[test]
+    fn batching_emitter_sends_full_batches_then_flushes() {
+        let (tx, rx) = bounded::<Batch<u32>>(8);
+        let mut emitter = BatchingEmitter::new(Emitter::new(vec![tx]), 2);
+        emitter.emit_to(0, Envelope::now(0, 10));
+        assert!(rx.try_recv().is_err());
+        emitter.emit_to(0, Envelope::now(1, 11));
+        assert_eq!(rx.try_recv().unwrap().len(), 2);
+        emitter.emit_to(0, Envelope::now(2, 12));
+        assert_eq!(emitter.pending(), 1);
+        emitter.flush_all();
+        assert_eq!(rx.try_recv().unwrap().len(), 1);
+        assert_eq!(emitter.pending(), 0);
+    }
+}

@@ -11,11 +11,13 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod batch;
 pub mod envelope;
 pub mod metrics;
 pub mod operator;
 pub mod runtime;
 
+pub use batch::{Batch, BatchBuffer, BatchingEmitter};
 pub use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
 pub use envelope::Envelope;
 pub use metrics::{LatencyBreakdown, LatencyRecorder, ThroughputMeter};
