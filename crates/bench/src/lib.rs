@@ -100,6 +100,9 @@ pub struct Experiment {
     pub adjustment: Option<AdjustmentConfig>,
     /// Hot-path batch size override (None = the system default).
     pub batch_size: Option<usize>,
+    /// Execution substrate override (None = the system default, which
+    /// honours `PS2_RUNTIME`).
+    pub runtime: Option<RuntimeBackend>,
     /// Random seed.
     pub seed: u64,
 }
@@ -122,6 +125,7 @@ impl Experiment {
             scale,
             adjustment: None,
             batch_size: None,
+            runtime: None,
             seed: 42,
         }
     }
@@ -141,6 +145,12 @@ impl Experiment {
     /// Enables dynamic load adjustment.
     pub fn with_adjustment(mut self, adjustment: AdjustmentConfig) -> Self {
         self.adjustment = Some(adjustment);
+        self
+    }
+
+    /// Overrides the execution substrate (see `SystemConfig::runtime`).
+    pub fn with_runtime(mut self, runtime: RuntimeBackend) -> Self {
+        self.runtime = Some(runtime);
         self
     }
 
@@ -169,6 +179,10 @@ impl Experiment {
         };
         let config = match self.batch_size {
             Some(batch) => config.with_batch_size(batch),
+            None => config,
+        };
+        let config = match self.runtime {
+            Some(runtime) => config.with_runtime(runtime),
             None => config,
         };
         let mut system = Ps2StreamBuilder::new(config)
@@ -291,11 +305,12 @@ pub fn headline_report(
     scale: Scale,
     workers: usize,
 ) -> RunReport {
-    headline_report_batched(dataset, class, strategy, scale, workers, None)
+    headline_report_batched(dataset, class, strategy, scale, workers, None, None)
 }
 
-/// [`headline_report`] with an explicit hot-path batch size (the `--batch`
-/// knob of the fig07/fig08 binaries; `None` = system default).
+/// [`headline_report`] with an explicit hot-path batch size and execution
+/// substrate (the `--batch` / `--runtime` knobs of the fig07/fig08
+/// binaries; `None` = system default).
 pub fn headline_report_batched(
     dataset: DatasetSpec,
     class: QueryClass,
@@ -303,11 +318,15 @@ pub fn headline_report_batched(
     scale: Scale,
     workers: usize,
     batch: Option<usize>,
+    runtime: Option<RuntimeBackend>,
 ) -> RunReport {
     let mut experiment =
         Experiment::new(dataset, class, build_partitioner(strategy), scale).with_workers(workers);
     if let Some(batch) = batch {
         experiment = experiment.with_batch(batch);
+    }
+    if let Some(runtime) = runtime {
+        experiment = experiment.with_runtime(runtime);
     }
     experiment.run()
 }
@@ -328,6 +347,25 @@ pub fn batch_arg() -> Option<usize> {
         }
     }
     None
+}
+
+/// Parses a `--runtime {threads,coop,coop:<threads>,sim,sim:<seed>}` argument
+/// (the execution-substrate knob of the fig07/fig08 binaries). Returns
+/// `None` when absent; panics on an unknown backend so a typo does not
+/// silently benchmark the default.
+pub fn runtime_arg() -> Option<RuntimeBackend> {
+    let args: Vec<String> = std::env::args().collect();
+    let spec = args.iter().enumerate().find_map(|(i, arg)| {
+        arg.strip_prefix("--runtime=")
+            .map(str::to_owned)
+            .or_else(|| {
+                (arg == "--runtime")
+                    .then(|| args.get(i + 1).expect("--runtime expects a value").clone())
+            })
+    })?;
+    Some(RuntimeBackend::parse(&spec).unwrap_or_else(|| {
+        panic!("--runtime {spec:?}: expected threads|coop|coop:<threads>|sim|sim:<seed>")
+    }))
 }
 
 #[cfg(test)]

@@ -1,6 +1,7 @@
 //! System configuration.
 
 use ps2stream_partition::CostConstants;
+use ps2stream_stream::RuntimeBackend;
 
 /// Which Minimum Cost Migration selector the dynamic load adjustment uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,6 +44,11 @@ pub struct AdjustmentConfig {
     pub enable_global: bool,
     /// Number of local polls between global repartitioning checks.
     pub global_check_every: u64,
+    /// On the deterministic simulation backend the controller has no clock:
+    /// it fires a stats collection every `sim_poll_ticks` scheduler polls of
+    /// its own task instead of every `poll_interval_ms`. Smaller values
+    /// migrate earlier/more often within a simulated run.
+    pub sim_poll_ticks: u64,
 }
 
 impl Default for AdjustmentConfig {
@@ -54,6 +60,7 @@ impl Default for AdjustmentConfig {
             phase1_cells: 4,
             enable_global: false,
             global_check_every: 10,
+            sim_poll_ticks: 24,
         }
     }
 }
@@ -87,6 +94,12 @@ pub struct SystemConfig {
     /// Dynamic load adjustment; `None` disables it (the "NoAdjust" system of
     /// Figure 16).
     pub adjustment: Option<AdjustmentConfig>,
+    /// Execution substrate the executors are spawned onto: OS threads
+    /// (default), the cooperative core-pool executor, or the deterministic
+    /// simulator. The default honours the `PS2_RUNTIME` environment variable
+    /// (`threads` | `coop` | `coop:<threads>` | `sim` | `sim:<seed>`) so an
+    /// unmodified test suite can be re-run on another backend.
+    pub runtime: RuntimeBackend,
 }
 
 impl Default for SystemConfig {
@@ -101,6 +114,7 @@ impl Default for SystemConfig {
             grid_exp: 6,
             costs: CostConstants::default(),
             adjustment: None,
+            runtime: RuntimeBackend::from_env().unwrap_or_default(),
         }
     }
 }
@@ -133,6 +147,13 @@ impl SystemConfig {
     /// Enables dynamic load adjustment.
     pub fn with_adjustment(mut self, adjustment: AdjustmentConfig) -> Self {
         self.adjustment = Some(adjustment);
+        self
+    }
+
+    /// Selects the execution substrate (overriding any `PS2_RUNTIME` value
+    /// picked up by `Default`).
+    pub fn with_runtime(mut self, runtime: RuntimeBackend) -> Self {
+        self.runtime = runtime;
         self
     }
 }
@@ -176,5 +197,14 @@ mod tests {
         assert_eq!(SelectorKind::Greedy.name(), "GR");
         assert_eq!(SelectorKind::Size.name(), "SI");
         assert_eq!(SelectorKind::Random.name(), "RA");
+    }
+
+    #[test]
+    fn runtime_override_wins_over_default() {
+        let c = SystemConfig::default().with_runtime(RuntimeBackend::deterministic(9));
+        assert!(c.runtime.is_deterministic());
+        assert_eq!(c.runtime.name(), "sim");
+        let c = c.with_runtime(RuntimeBackend::coop());
+        assert_eq!(c.runtime.name(), "coop");
     }
 }

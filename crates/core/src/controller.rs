@@ -18,7 +18,7 @@ use ps2stream_balance::{
 };
 use ps2stream_model::WorkerId;
 use ps2stream_partition::{CostConstants, RoutingTable};
-use ps2stream_stream::{unbounded, Sender};
+use ps2stream_stream::{unbounded, PollTask, Receiver, Sender, TaskPoll};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -96,6 +96,18 @@ impl AdjustmentController {
     /// Performs one adjustment round. Returns true if a migration was issued.
     pub fn adjust_once(&self, adjuster: &LocalAdjuster) -> bool {
         let reports = self.collect_stats();
+        self.adjust_with_reports(adjuster, &reports)
+    }
+
+    /// The planning half of an adjustment round, fed with already-collected
+    /// worker reports (sorted by worker id). Split out so the deterministic
+    /// simulation backend can collect reports without blocking (see
+    /// [`ControllerTask`]).
+    pub fn adjust_with_reports(
+        &self,
+        adjuster: &LocalAdjuster,
+        reports: &[WorkerStatsReport],
+    ) -> bool {
         if reports.len() < 2 {
             return false;
         }
@@ -132,7 +144,11 @@ impl AdjustmentController {
         for m in moves {
             match m {
                 MigrationMove::WholeCell { cell, from, to } => {
-                    self.routing.write().reassign_cell(*cell, *to);
+                    {
+                        let mut routing = self.routing.write();
+                        routing.reassign_cell(*cell, *to);
+                        self.arm_handover_barrier(*cell, *to);
+                    }
                     self.send_migration(*from, *cell, None, *to);
                 }
                 MigrationMove::TextSplit {
@@ -142,9 +158,11 @@ impl AdjustmentController {
                     terms,
                 } => {
                     let term_set: HashSet<_> = terms.iter().copied().collect();
-                    self.routing
-                        .write()
-                        .split_cell_by_terms(*cell, &term_set, *to);
+                    {
+                        let mut routing = self.routing.write();
+                        routing.split_cell_by_terms(*cell, &term_set, *to);
+                        self.arm_handover_barrier(*cell, *to);
+                    }
                     self.send_migration(*from, *cell, Some(terms.clone()), *to);
                 }
                 MigrationMove::MergeCell { cell, from, to } => {
@@ -158,17 +176,35 @@ impl AdjustmentController {
                             .unwrap_or_default()
                     };
                     let term_set: HashSet<_> = terms.iter().copied().collect();
-                    if term_set.is_empty() {
-                        self.routing.write().reassign_cell(*cell, *to);
-                        self.send_migration(*from, *cell, None, *to);
+                    let terms = if term_set.is_empty() {
+                        None
                     } else {
-                        self.routing
-                            .write()
-                            .split_cell_by_terms(*cell, &term_set, *to);
-                        self.send_migration(*from, *cell, Some(terms), *to);
+                        Some(terms)
+                    };
+                    {
+                        let mut routing = self.routing.write();
+                        if term_set.is_empty() {
+                            routing.reassign_cell(*cell, *to);
+                        } else {
+                            routing.split_cell_by_terms(*cell, &term_set, *to);
+                        }
+                        self.arm_handover_barrier(*cell, *to);
                     }
+                    self.send_migration(*from, *cell, terms, *to);
                 }
             }
+        }
+    }
+
+    /// Arms the destination's hand-off barrier. Must be called **while the
+    /// routing-table write lock is held**: dispatchers flush their routed
+    /// batches before releasing the read lock, so every record routed by the
+    /// updated table is enqueued at the destination strictly after this
+    /// `CellPending` — the worker can therefore park those records until the
+    /// migrated queries arrive, making the hand-off lossless.
+    fn arm_handover_barrier(&self, cell: ps2stream_geo::CellId, to: WorkerId) {
+        if let Some(tx) = self.workers.get(to.index()) {
+            let _ = tx.send(WorkerMessage::CellPending { cell });
         }
     }
 
@@ -184,14 +220,20 @@ impl AdjustmentController {
         }
     }
 
-    /// Runs the controller loop until the stop flag is raised.
-    pub fn run(self) {
-        let adjuster = LocalAdjuster::new(LocalAdjusterConfig {
+    /// Builds the local adjuster configured for this controller.
+    fn make_adjuster(&self) -> LocalAdjuster {
+        LocalAdjuster::new(LocalAdjusterConfig {
             sigma: self.config.sigma,
             phase1_cells: self.config.phase1_cells,
             ..LocalAdjusterConfig::default()
         })
-        .with_selector(build_selector(self.config.selector));
+        .with_selector(build_selector(self.config.selector))
+    }
+
+    /// Runs the controller loop until the stop flag is raised (the blocking
+    /// service used by the thread and cooperative-pool backends).
+    pub fn run(self) {
+        let adjuster = self.make_adjuster();
         let interval = Duration::from_millis(self.config.poll_interval_ms.max(1));
         while !self.stop.load(Ordering::Relaxed) {
             std::thread::sleep(interval);
@@ -199,6 +241,96 @@ impl AdjustmentController {
                 break;
             }
             self.adjust_once(&adjuster);
+        }
+    }
+}
+
+/// The controller as a cooperative [`PollTask`] for the deterministic
+/// simulation backend, where wall-clock polling would break reproducibility.
+/// Time is replaced by scheduler polls: every
+/// [`AdjustmentConfig::sim_poll_ticks`] polls of this task it requests the
+/// worker stats, then gathers the replies non-blockingly over subsequent
+/// polls and runs the same planning/apply path as the blocking loop —
+/// migrations therefore land mid-stream at seed-determined points.
+pub struct ControllerTask {
+    controller: AdjustmentController,
+    adjuster: LocalAdjuster,
+    ticks: u64,
+    phase: ControllerPhase,
+}
+
+enum ControllerPhase {
+    /// Counting down scheduler polls to the next stats collection.
+    Idle { polls_left: u64 },
+    /// Stats requested; gathering replies without blocking.
+    Collecting {
+        reply: Receiver<WorkerStatsReport>,
+        expected: usize,
+        reports: Vec<WorkerStatsReport>,
+    },
+}
+
+impl ControllerTask {
+    /// Wraps a controller for the simulated substrate.
+    pub fn new(controller: AdjustmentController) -> Self {
+        let adjuster = controller.make_adjuster();
+        let ticks = controller.config.sim_poll_ticks.max(1);
+        Self {
+            controller,
+            adjuster,
+            ticks,
+            phase: ControllerPhase::Idle { polls_left: ticks },
+        }
+    }
+}
+
+impl PollTask for ControllerTask {
+    fn poll(&mut self) -> TaskPoll {
+        if self.controller.stop.load(Ordering::Relaxed) {
+            return TaskPoll::Done;
+        }
+        match &mut self.phase {
+            ControllerPhase::Idle { polls_left } => {
+                if *polls_left > 0 {
+                    *polls_left -= 1;
+                    return TaskPoll::Blocked;
+                }
+                let (tx, reply) = unbounded::<WorkerStatsReport>();
+                let mut expected = 0usize;
+                for w in &self.controller.workers {
+                    if w.send(WorkerMessage::CollectStats { reply: tx.clone() })
+                        .is_ok()
+                    {
+                        expected += 1;
+                    }
+                }
+                self.phase = ControllerPhase::Collecting {
+                    reply,
+                    expected,
+                    reports: Vec::with_capacity(expected),
+                };
+                TaskPoll::Progress
+            }
+            ControllerPhase::Collecting {
+                reply,
+                expected,
+                reports,
+            } => {
+                while let Ok(report) = reply.try_recv() {
+                    reports.push(report);
+                }
+                if reports.len() < *expected {
+                    return TaskPoll::Blocked;
+                }
+                let mut reports = std::mem::take(reports);
+                reports.sort_by_key(|r| r.worker);
+                self.controller
+                    .adjust_with_reports(&self.adjuster, &reports);
+                self.phase = ControllerPhase::Idle {
+                    polls_left: self.ticks,
+                };
+                TaskPoll::Progress
+            }
         }
     }
 }
@@ -303,7 +435,12 @@ mod tests {
                 .any(|m| matches!(m, WorkerMessage::MigrateCell { to, .. } if *to == WorkerId(1))),
             "worker 0 should have been told to migrate a cell"
         );
-        assert!(to_w1.is_empty());
+        // the destination gets exactly the hand-off barrier(s), armed before
+        // the source is told to migrate
+        assert!(!to_w1.is_empty());
+        assert!(to_w1
+            .iter()
+            .all(|m| matches!(m, WorkerMessage::CellPending { .. })));
         // the routing table now sends at least one cell to worker 1
         let routing = routing.read();
         let moved = routing.grid().all_cells().any(

@@ -88,6 +88,7 @@ pub mod prelude {
         HypergraphPartitioner, KdTreePartitioner, MetricPartitioner, Partitioner, RTreePartitioner,
         RoutingTable, WorkloadSample,
     };
+    pub use ps2stream_stream::{CoopConfig, RuntimeBackend};
     pub use ps2stream_text::{BooleanExpr, TermId, Tokenizer, Vocabulary};
     pub use ps2stream_workload::{
         build_sample, CorpusGenerator, DatasetSpec, DriverConfig, QueryClass, QueryGenerator,

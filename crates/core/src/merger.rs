@@ -13,9 +13,17 @@
 //! evicted, a late match batch for it is *not* allowed to re-create its
 //! entry — re-registering would forget which queries were already delivered
 //! and double-deliver them, making the deliver-count metrics disagree with
-//! the subscriber channel. Late matches for evicted objects are counted as
-//! suppressed duplicates instead (the deliberate trade-off of a bounded
-//! dedup window).
+//! the subscriber channel.
+//!
+//! The guard against such resurrection is a **sequence watermark** rather
+//! than a set of evicted object ids (which would grow with the total number
+//! of objects over a run): every match envelope carries its object's ingest
+//! sequence number, and evicting an object raises the watermark to that
+//! object's sequence. A match batch for an *untracked* object at or below
+//! the watermark is necessarily late traffic from the evicted era and is
+//! suppressed as a duplicate — possibly over-suppressing a genuinely new
+//! match whose first batch arrived very late, the deliberate trade-off of a
+//! bounded dedup window (size the window with the `capacity` knob).
 
 use crate::messages::MergerMessage;
 use crate::metrics::SystemMetrics;
@@ -33,11 +41,12 @@ pub struct Merger {
     delivery: Option<Sender<MatchResult>>,
     /// Recently seen (object → matched queries) used for deduplication.
     seen: HashMap<ObjectId, HashSet<QueryId>>,
-    /// FIFO of objects for bounded-memory eviction.
-    order: VecDeque<ObjectId>,
-    /// Objects whose dedup entry was evicted: their late matches must not
-    /// re-register (which would double-deliver previously delivered pairs).
-    evicted: HashSet<ObjectId>,
+    /// FIFO of `(object, ingest sequence)` for bounded-memory eviction.
+    order: VecDeque<(ObjectId, u64)>,
+    /// Highest ingest sequence among evicted objects: late matches at or
+    /// below it must not re-register. `None` until the first eviction, so
+    /// the scheme is inert while the window has room.
+    evicted_watermark: Option<u64>,
     /// Maximum number of objects tracked for deduplication.
     capacity: usize,
 }
@@ -55,28 +64,41 @@ impl Merger {
             delivery,
             seen: HashMap::new(),
             order: VecDeque::new(),
-            evicted: HashSet::new(),
+            evicted_watermark: None,
             capacity: capacity.max(1),
         }
     }
 
-    /// The dedup entry of an object, or `None` when the object was evicted
-    /// (late arrivals must not resurrect it).
-    fn note_object(&mut self, object: ObjectId) -> Option<&mut HashSet<QueryId>> {
-        if self.evicted.contains(&object) {
-            return None;
-        }
+    /// The dedup entry of an object (whose matches arrived with ingest
+    /// sequence `sequence`), or `None` when the object falls behind the
+    /// eviction watermark (late arrivals must not resurrect evicted state).
+    fn note_object(&mut self, object: ObjectId, sequence: u64) -> Option<&mut HashSet<QueryId>> {
         if !self.seen.contains_key(&object) {
+            if self
+                .evicted_watermark
+                .is_some_and(|watermark| sequence <= watermark)
+            {
+                return None;
+            }
             if self.order.len() >= self.capacity {
-                if let Some(old) = self.order.pop_front() {
+                if let Some((old, old_sequence)) = self.order.pop_front() {
                     self.seen.remove(&old);
-                    self.evicted.insert(old);
+                    self.evicted_watermark = Some(
+                        self.evicted_watermark
+                            .map_or(old_sequence, |w| w.max(old_sequence)),
+                    );
                 }
             }
-            self.order.push_back(object);
+            self.order.push_back((object, sequence));
             self.seen.insert(object, HashSet::new());
         }
         self.seen.get_mut(&object)
+    }
+
+    /// Number of objects currently tracked for deduplication (the eviction
+    /// guard itself is a single watermark, so this *is* the dedup footprint).
+    pub fn tracked_objects(&self) -> usize {
+        self.seen.len()
     }
 }
 
@@ -91,8 +113,9 @@ impl Operator for Merger {
         let objects = batch.len() as u64;
         for envelope in batch {
             let latency = envelope.latency();
+            let sequence = envelope.sequence;
             for m in &envelope.payload {
-                match self.note_object(m.object_id) {
+                match self.note_object(m.object_id, sequence) {
                     Some(per_object) => {
                         if per_object.insert(m.query_id) {
                             delivered += 1;
@@ -219,5 +242,66 @@ mod tests {
         assert_eq!(metrics.duplicates_removed.load(Ordering::Relaxed), 2);
         // the dedup window itself stays bounded
         assert!(merger.seen.len() <= 1);
+    }
+
+    #[test]
+    fn eviction_guard_memory_stays_bounded_over_a_long_run() {
+        // ROADMAP item: the old resurrection guard was a HashSet holding
+        // every evicted object id, growing with the run. The watermark
+        // replacement must keep the *whole* dedup state bounded by
+        // `capacity` while still never double-delivering across eviction.
+        let metrics = SystemMetrics::new(1);
+        let (tx, rx) = unbounded::<MatchResult>();
+        let capacity = 4;
+        let mut merger = Merger::new(Arc::clone(&metrics), Some(tx), capacity);
+        let emitter = Emitter::sink();
+        let total_objects = 1_000u64;
+        for object in 1..=total_objects {
+            // every batch duplicated: the second copy must always be
+            // suppressed, whether the entry is live or evicted
+            merger.process(matches(object, &[7]), &emitter);
+            merger.process(matches(object, &[7]), &emitter);
+            // sporadic very late traffic for long-evicted objects
+            if object % 97 == 0 {
+                merger.process(matches(object / 2, &[7]), &emitter);
+            }
+            assert!(
+                merger.tracked_objects() <= capacity,
+                "dedup entries bounded"
+            );
+            assert!(merger.order.len() <= capacity, "eviction FIFO bounded");
+        }
+        let delivered: Vec<MatchResult> = rx.try_iter().collect();
+        let mut unique: HashSet<(QueryId, ObjectId)> = HashSet::new();
+        for m in &delivered {
+            assert!(
+                unique.insert((m.query_id, m.object_id)),
+                "pair {m:?} delivered twice across eviction"
+            );
+        }
+        // every object's first batch arrived in sequence order, so nothing
+        // was suppressed by the watermark spuriously
+        assert_eq!(delivered.len() as u64, total_objects);
+        assert_eq!(
+            metrics.matches_delivered.load(Ordering::Relaxed),
+            total_objects
+        );
+    }
+
+    #[test]
+    fn watermark_suppresses_only_late_sequences() {
+        // An out-of-order *new* object above the watermark must still be
+        // admitted after evictions; one at/below it is treated as late.
+        let metrics = SystemMetrics::new(1);
+        let mut merger = Merger::new(Arc::clone(&metrics), None, 1);
+        let emitter = Emitter::sink();
+        merger.process(matches(10, &[1]), &emitter); // seq 10, delivered
+        merger.process(matches(20, &[1]), &emitter); // evicts seq 10 → watermark 10
+        merger.process(matches(15, &[1]), &emitter); // seq 15 > 10: admitted
+        assert_eq!(metrics.matches_delivered.load(Ordering::Relaxed), 3);
+        // seq 5 ≤ watermark (now ≥ 10): suppressed as late traffic
+        merger.process(matches(5, &[1]), &emitter);
+        assert_eq!(metrics.matches_delivered.load(Ordering::Relaxed), 3);
+        assert_eq!(metrics.duplicates_removed.load(Ordering::Relaxed), 1);
     }
 }

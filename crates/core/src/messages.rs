@@ -25,8 +25,24 @@ pub enum WorkerMessage {
         /// Destination worker.
         to: WorkerId,
     },
-    /// Control: queries migrated from another worker; index them.
+    /// Control: the receiving worker is the destination of an in-flight cell
+    /// hand-off. Sent by the adjustment controller *while it still holds the
+    /// routing-table write lock*, so it is guaranteed to sit in the worker's
+    /// queue before any record routed by the updated table. The worker parks
+    /// objects of `cell` until the matching [`WorkerMessage::MigrateIn`]
+    /// arrives — closing the window in which an object could reach the new
+    /// owner before the migrated queries do (a lost match).
+    CellPending {
+        /// The cell being handed over.
+        cell: CellId,
+    },
+    /// Control: queries migrated from another worker; index them, then replay
+    /// any records parked for the hand-off of `cell`. Always sent by the
+    /// migration source (even with no queries) so the destination's pending
+    /// marker is released.
     MigrateIn {
+        /// The cell whose hand-off this message completes.
+        cell: CellId,
         /// The migrated queries.
         queries: Vec<StsQuery>,
     },

@@ -8,7 +8,7 @@
 //! latency, memory and migration statistics the paper's figures report.
 
 use crate::config::SystemConfig;
-use crate::controller::AdjustmentController;
+use crate::controller::{AdjustmentController, ControllerTask};
 use crate::dispatcher::Dispatcher;
 use crate::merger::Merger;
 use crate::messages::{MergerMessage, WorkerMessage};
@@ -18,13 +18,10 @@ use parking_lot::RwLock;
 use ps2stream_index::{Gi2Config, Gi2Index};
 use ps2stream_model::{MatchResult, StreamRecord};
 use ps2stream_partition::{HybridPartitioner, Partitioner, RoutingTable, WorkloadSample};
-use ps2stream_stream::{
-    bounded, run_operator, unbounded, Batch, BatchingEmitter, Emitter, Envelope, Sender,
-};
+use ps2stream_stream::{Batch, BatchingEmitter, Emitter, Envelope, Runtime, Sender, TaskHandle};
 use ps2stream_text::TermStats;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Builds a PS2Stream deployment.
 pub struct Ps2StreamBuilder {
@@ -112,10 +109,14 @@ pub struct RunningSystem {
     routing: Arc<RwLock<RoutingTable>>,
     worker_txs: Vec<Sender<WorkerMessage>>,
     controller_stop: Arc<AtomicBool>,
-    controller: Option<JoinHandle<()>>,
-    dispatchers: Vec<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-    mergers: Vec<JoinHandle<()>>,
+    /// The execution substrate every executor below runs on. On the
+    /// deterministic backend the executors make progress only while
+    /// [`RunningSystem::finish`] joins them.
+    runtime: Runtime,
+    controller: Option<TaskHandle>,
+    dispatchers: Vec<TaskHandle>,
+    workers: Vec<TaskHandle>,
+    mergers: Vec<TaskHandle>,
 }
 
 impl RunningSystem {
@@ -131,24 +132,26 @@ impl RunningSystem {
             "at least one dispatcher is required"
         );
         assert!(config.num_mergers > 0, "at least one merger is required");
+        let mut runtime = Runtime::new(&config.runtime);
         let metrics = SystemMetrics::new(config.num_workers);
         let bounds = routing.grid().bounds();
         let routing = Arc::new(RwLock::new(routing));
         let old_routing: Arc<RwLock<Option<RoutingTable>>> = Arc::new(RwLock::new(None));
 
-        // channels
-        let (input_tx, input_rx) = bounded::<Batch<StreamRecord>>(config.input_capacity);
+        // channels (capacities apply on the thread backend; the cooperative
+        // backends make every channel unbounded so tasks never block)
+        let (input_tx, input_rx) = runtime.bounded::<Batch<StreamRecord>>(config.input_capacity);
         let mut worker_txs = Vec::with_capacity(config.num_workers);
         let mut worker_rxs = Vec::with_capacity(config.num_workers);
         for _ in 0..config.num_workers {
-            let (tx, rx) = unbounded::<WorkerMessage>();
+            let (tx, rx) = runtime.unbounded::<WorkerMessage>();
             worker_txs.push(tx);
             worker_rxs.push(rx);
         }
         let mut merger_txs = Vec::with_capacity(config.num_mergers);
         let mut merger_rxs = Vec::with_capacity(config.num_mergers);
         for _ in 0..config.num_mergers {
-            let (tx, rx) = bounded::<MergerMessage>(config.merger_capacity);
+            let (tx, rx) = runtime.bounded::<MergerMessage>(config.merger_capacity);
             merger_txs.push(tx);
             merger_rxs.push(rx);
         }
@@ -157,14 +160,12 @@ impl RunningSystem {
         let mut mergers = Vec::with_capacity(config.num_mergers);
         for (i, rx) in merger_rxs.into_iter().enumerate() {
             let merger = Merger::new(Arc::clone(&metrics), delivery.clone(), 100_000);
-            mergers.push(
-                std::thread::Builder::new()
-                    .name(format!("merger-{i}"))
-                    .spawn(move || {
-                        run_operator(merger, rx, Emitter::sink());
-                    })
-                    .expect("spawn merger"),
-            );
+            mergers.push(runtime.spawn_operator(
+                format!("merger-{i}"),
+                merger,
+                rx,
+                Emitter::sink(),
+            ));
         }
         drop(delivery);
 
@@ -184,14 +185,12 @@ impl RunningSystem {
                 Arc::clone(&metrics),
                 config.batch_size,
             );
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("worker-{i}"))
-                    .spawn(move || {
-                        let _ = worker.run(rx);
-                    })
-                    .expect("spawn worker"),
-            );
+            workers.push(runtime.spawn_operator(
+                format!("worker-{i}"),
+                worker,
+                rx,
+                Emitter::sink(),
+            ));
         }
         drop(merger_txs);
 
@@ -207,18 +206,18 @@ impl RunningSystem {
             );
             let rx = input_rx.clone();
             let emitter = Emitter::new(worker_txs.clone());
-            dispatchers.push(
-                std::thread::Builder::new()
-                    .name(format!("dispatcher-{i}"))
-                    .spawn(move || {
-                        run_operator(dispatcher, rx, emitter);
-                    })
-                    .expect("spawn dispatcher"),
-            );
+            dispatchers.push(runtime.spawn_operator(
+                format!("dispatcher-{i}"),
+                dispatcher,
+                rx,
+                emitter,
+            ));
         }
         drop(input_rx);
 
-        // adjustment controller
+        // adjustment controller: a blocking service thread on the concurrent
+        // backends, a cooperative tick-driven task on the deterministic one
+        // (a hidden sleeping thread would break reproducibility)
         let controller_stop = Arc::new(AtomicBool::new(false));
         let controller = config.adjustment.clone().map(|adjustment| {
             let controller = AdjustmentController::new(
@@ -229,10 +228,16 @@ impl RunningSystem {
                 Arc::clone(&metrics),
                 Arc::clone(&controller_stop),
             );
-            std::thread::Builder::new()
-                .name("adjustment-controller".to_owned())
-                .spawn(move || controller.run())
-                .expect("spawn controller")
+            if runtime.is_deterministic() {
+                let wake_on: Vec<&ps2stream_stream::Receiver<WorkerMessage>> = Vec::new();
+                runtime.spawn_task(
+                    "adjustment-controller",
+                    Box::new(ControllerTask::new(controller)),
+                    &wake_on,
+                )
+            } else {
+                runtime.spawn_service("adjustment-controller", move || controller.run())
+            }
         });
 
         Self {
@@ -246,6 +251,7 @@ impl RunningSystem {
             routing,
             worker_txs,
             controller_stop,
+            runtime,
             controller,
             dispatchers,
             workers,
@@ -290,31 +296,33 @@ impl RunningSystem {
     }
 
     /// Closes the input, drains every executor and returns the final report.
+    ///
+    /// On the deterministic backend this is where the seeded schedule
+    /// actually runs: each join below advances *all* alive executors until
+    /// the joined group terminates, so migrations still land in the middle
+    /// of the stream being drained.
     pub fn finish(mut self) -> RunReport {
         // 1. flush the partial input batch, then close the input: dispatchers
         //    drain and terminate
         self.flush();
         self.input = None;
-        for d in self.dispatchers.drain(..) {
-            d.join().expect("dispatcher panicked");
-        }
+        let dispatchers = std::mem::take(&mut self.dispatchers);
+        self.runtime.join_tasks(&dispatchers);
         // 2. stop the adjustment controller
         self.controller_stop.store(true, Ordering::Relaxed);
         if let Some(c) = self.controller.take() {
-            c.join().expect("controller panicked");
+            self.runtime.join_tasks(&[c]);
         }
         // 3. tell the workers to drain and stop
         for tx in &self.worker_txs {
             let _ = tx.send(WorkerMessage::Shutdown);
         }
-        for w in self.workers.drain(..) {
-            w.join().expect("worker panicked");
-        }
+        let workers = std::mem::take(&mut self.workers);
+        self.runtime.join_tasks(&workers);
         self.worker_txs.clear();
         // 4. mergers terminate once every worker has dropped its senders
-        for m in self.mergers.drain(..) {
-            m.join().expect("merger panicked");
-        }
+        let mergers = std::mem::take(&mut self.mergers);
+        self.runtime.join_tasks(&mergers);
         self.metrics
             .dispatcher_memory
             .store(self.routing.read().memory_usage(), Ordering::Relaxed);
@@ -326,6 +334,7 @@ impl RunningSystem {
 mod tests {
     use super::*;
     use ps2stream_partition::KdTreePartitioner;
+    use ps2stream_stream::unbounded;
     use ps2stream_workload::{build_sample, DatasetSpec, QueryClass};
 
     #[test]

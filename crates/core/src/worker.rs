@@ -6,15 +6,33 @@
 //! execute the control messages of the dynamic load adjustment: they report
 //! their per-cell loads, extract the queries of migrated cells and index
 //! queries migrated in from peers.
+//!
+//! The worker is an [`Operator`], so it runs unchanged on any
+//! [`ps2stream_stream::Runtime`] backend: a blocking OS thread, a cooperative
+//! pool task, or the deterministic simulator.
+//!
+//! # Lossless cell hand-off
+//!
+//! When a cell is migrated *to* this worker, objects of that cell can arrive
+//! (routed by the already-updated table) before the queries do. A
+//! [`WorkerMessage::CellPending`] barrier — enqueued by the controller under
+//! the routing-table write lock, hence ahead of any such object — makes the
+//! worker park those objects; the [`WorkerMessage::MigrateIn`] completing the
+//! hand-off indexes the queries and replays the parked records in arrival
+//! order. Query updates are *not* parked: they are applied immediately
+//! because a query may span cells that are not in hand-off, and delaying it
+//! would un-index it from those cells' perspective.
 
 use crate::messages::{MergerMessage, WorkerMessage, WorkerStatsReport};
 use crate::metrics::SystemMetrics;
 use ps2stream_balance::{CellLoadInfo, TermLoad};
+use ps2stream_geo::CellId;
 use ps2stream_index::Gi2Index;
 use ps2stream_model::{MatchResult, QueryUpdate, StreamRecord, WorkerId};
 use ps2stream_partition::WorkerLoad;
-use ps2stream_stream::{Batch, BatchBuffer, Receiver, Sender};
+use ps2stream_stream::{Batch, BatchBuffer, Emitter, Envelope, Operator, Receiver, Sender};
 use ps2stream_text::TermId;
+use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
@@ -33,6 +51,17 @@ pub struct Worker {
     /// Per-merger buffers of per-object match sets; flushed at the end of
     /// every input record batch (never held across messages).
     match_buffer: BatchBuffer<Vec<MatchResult>>,
+    /// Cells with an in-flight hand-off *towards* this worker: the number of
+    /// `MigrateIn` messages still owed per cell.
+    pending_cells: HashMap<CellId, u32>,
+    /// Objects parked while their cell's hand-off is pending, in arrival
+    /// order.
+    parked: HashMap<CellId, Vec<Envelope<StreamRecord>>>,
+    /// A `Shutdown` arrived while hand-offs were pending; stop as soon as
+    /// the last one completes.
+    shutdown_requested: bool,
+    /// Terminate after the current message (drives [`Operator::wants_stop`]).
+    stopped: bool,
 }
 
 impl Worker {
@@ -54,6 +83,10 @@ impl Worker {
             metrics,
             period_load: WorkerLoad::default(),
             match_buffer,
+            pending_cells: HashMap::new(),
+            parked: HashMap::new(),
+            shutdown_requested: false,
+            stopped: false,
         }
     }
 
@@ -68,68 +101,88 @@ impl Worker {
         }
     }
 
-    fn handle_records(&mut self, records: Batch<StreamRecord>) {
-        for envelope in records {
-            match &envelope.payload {
-                StreamRecord::Object(o) => {
-                    self.period_load.objects += 1;
-                    let matches = self.index.match_object(o);
-                    if matches.is_empty() {
-                        // tuple finished here
-                        self.metrics.latency.record(envelope.latency());
-                        self.metrics.throughput.record(1);
-                    } else {
-                        let merger = (o.id.value() as usize) % self.mergers.len().max(1);
-                        if let Some(full) = self.match_buffer.push(merger, envelope.derive(matches))
-                        {
-                            self.send_matches(merger, full);
+    /// Processes one routed record. Objects whose cell has a pending
+    /// hand-off are parked until the migrated queries arrive.
+    fn process_record(&mut self, envelope: Envelope<StreamRecord>) {
+        match &envelope.payload {
+            StreamRecord::Object(o) => {
+                if !self.pending_cells.is_empty() {
+                    if let Some(cell) = self.index.grid().cell_of(&o.location) {
+                        if self.pending_cells.contains_key(&cell) {
+                            self.parked.entry(cell).or_default().push(envelope);
+                            return;
                         }
                     }
                 }
-                StreamRecord::Update(QueryUpdate::Insert(q)) => {
-                    self.period_load.insertions += 1;
-                    self.index.insert(q.clone());
+                self.period_load.objects += 1;
+                let matches = self.index.match_object(o);
+                if matches.is_empty() {
+                    // tuple finished here
                     self.metrics.latency.record(envelope.latency());
                     self.metrics.throughput.record(1);
-                }
-                StreamRecord::Update(QueryUpdate::Delete(q)) => {
-                    self.period_load.deletions += 1;
-                    self.index.delete(q);
-                    self.metrics.latency.record(envelope.latency());
-                    self.metrics.throughput.record(1);
+                } else {
+                    let merger = (o.id.value() as usize) % self.mergers.len().max(1);
+                    if let Some(full) = self.match_buffer.push(merger, envelope.derive(matches)) {
+                        self.send_matches(merger, full);
+                    }
                 }
             }
+            StreamRecord::Update(QueryUpdate::Insert(q)) => {
+                self.period_load.insertions += 1;
+                self.index.insert(q.clone());
+                self.metrics.latency.record(envelope.latency());
+                self.metrics.throughput.record(1);
+            }
+            StreamRecord::Update(QueryUpdate::Delete(q)) => {
+                self.period_load.deletions += 1;
+                self.index.delete(q);
+                self.metrics.latency.record(envelope.latency());
+                self.metrics.throughput.record(1);
+            }
         }
-        // flush the partial match batches so no result waits for future input
+    }
+
+    /// Flushes the partial match batches so no result waits for future input.
+    fn flush_matches(&mut self) {
         for (merger, batch) in self.match_buffer.flush_all() {
             self.send_matches(merger, batch);
         }
     }
 
-    fn handle_migrate_out(
-        &mut self,
-        cell: ps2stream_geo::CellId,
-        terms: Option<Vec<TermId>>,
-        to: WorkerId,
-    ) {
+    fn handle_records(&mut self, records: Batch<StreamRecord>) {
+        for envelope in records {
+            self.process_record(envelope);
+        }
+        self.flush_matches();
+    }
+
+    fn handle_migrate_out(&mut self, cell: CellId, terms: Option<Vec<TermId>>, to: WorkerId) {
         let start = Instant::now();
         let queries = match &terms {
+            // whole-cell hand-off: every object of the cell now routes to
+            // the destination, so the queries truly move
             None => self.index.extract_cell(cell),
-            Some(terms) => self.index.extract_cell_where(cell, |q| {
+            // text split: only the given terms' objects re-route; queries
+            // touching them are *replicated* (a query whose representative
+            // terms straddle both groups must keep matching on both sides —
+            // the merger deduplicates)
+            Some(terms) => self.index.replicate_cell_where(cell, |q| {
                 q.keywords.all_terms().iter().any(|t| terms.contains(t))
             }),
         };
-        if queries.is_empty() {
-            return;
+        if !queries.is_empty() {
+            let bytes: usize = queries.iter().map(|q| q.memory_usage()).sum();
+            self.metrics
+                .migration
+                .bytes_moved
+                .fetch_add(bytes as u64, Ordering::Relaxed);
+            self.metrics.migration.moves.fetch_add(1, Ordering::Relaxed);
         }
-        let bytes: usize = queries.iter().map(|q| q.memory_usage()).sum();
-        self.metrics
-            .migration
-            .bytes_moved
-            .fetch_add(bytes as u64, Ordering::Relaxed);
-        self.metrics.migration.moves.fetch_add(1, Ordering::Relaxed);
+        // The MigrateIn must go out even when no query moved: the controller
+        // armed a CellPending barrier at the destination and this message is
+        // what releases it.
         if let Some(peer) = self.peers.get(to.index()) {
-            let _ = peer.send(WorkerMessage::MigrateIn { queries });
+            let _ = peer.send(WorkerMessage::MigrateIn { cell, queries });
         }
         self.metrics
             .migration
@@ -137,7 +190,13 @@ impl Worker {
             .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
     }
 
-    fn handle_migrate_in(&mut self, queries: Vec<ps2stream_model::StsQuery>) {
+    /// Marks a cell as awaiting an inbound hand-off (objects of that cell
+    /// park until the matching `MigrateIn` arrives).
+    fn handle_cell_pending(&mut self, cell: CellId) {
+        *self.pending_cells.entry(cell).or_insert(0) += 1;
+    }
+
+    fn handle_migrate_in(&mut self, cell: CellId, queries: Vec<ps2stream_model::StsQuery>) {
         let start = Instant::now();
         for q in queries {
             self.index.insert(q);
@@ -146,6 +205,21 @@ impl Worker {
             .migration
             .migration_time_us
             .fetch_add(start.elapsed().as_micros() as u64, Ordering::Relaxed);
+        // Release the hand-off barrier and replay parked records in arrival
+        // order once every MigrateIn owed for the cell has landed.
+        if let Some(owed) = self.pending_cells.get_mut(&cell) {
+            *owed -= 1;
+            if *owed == 0 {
+                self.pending_cells.remove(&cell);
+                for envelope in self.parked.remove(&cell).unwrap_or_default() {
+                    self.process_record(envelope);
+                }
+                self.flush_matches();
+                if self.shutdown_requested && self.pending_cells.is_empty() {
+                    self.stopped = true;
+                }
+            }
+        }
     }
 
     fn stats_report(&mut self) -> WorkerStatsReport {
@@ -194,29 +268,53 @@ impl Worker {
         report
     }
 
-    /// Runs the worker loop until a [`WorkerMessage::Shutdown`] is received
-    /// or every sender disconnects. Returns the worker for inspection.
-    pub fn run(mut self, input: Receiver<WorkerMessage>) -> Self {
-        while let Ok(message) = input.recv() {
-            match message {
-                WorkerMessage::Records(records) => self.handle_records(records),
-                WorkerMessage::MigrateCell { cell, terms, to } => {
-                    self.handle_migrate_out(cell, terms, to)
+    /// Runs the worker loop on the current thread until a
+    /// [`WorkerMessage::Shutdown`] takes effect or every sender disconnects.
+    /// Returns the worker for inspection.
+    pub fn run(self, input: Receiver<WorkerMessage>) -> Self {
+        ps2stream_stream::run_operator(self, input, Emitter::sink())
+    }
+}
+
+impl Operator for Worker {
+    type In = WorkerMessage;
+    type Out = ();
+
+    fn process(&mut self, message: WorkerMessage, _emitter: &Emitter<()>) {
+        match message {
+            WorkerMessage::Records(records) => self.handle_records(records),
+            WorkerMessage::MigrateCell { cell, terms, to } => {
+                self.handle_migrate_out(cell, terms, to)
+            }
+            WorkerMessage::CellPending { cell } => self.handle_cell_pending(cell),
+            WorkerMessage::MigrateIn { cell, queries } => self.handle_migrate_in(cell, queries),
+            WorkerMessage::CollectStats { reply } => {
+                let _ = reply.send(self.stats_report());
+            }
+            WorkerMessage::Shutdown => {
+                // Hand-offs still owed to this worker will complete (the
+                // source processes its MigrateCell before its own Shutdown),
+                // so defer termination until the parked records replay.
+                if self.pending_cells.is_empty() {
+                    self.stopped = true;
+                } else {
+                    self.shutdown_requested = true;
                 }
-                WorkerMessage::MigrateIn { queries } => self.handle_migrate_in(queries),
-                WorkerMessage::CollectStats { reply } => {
-                    let _ = reply.send(self.stats_report());
-                }
-                WorkerMessage::Shutdown => break,
             }
         }
+    }
+
+    fn wants_stop(&self) -> bool {
+        self.stopped
+    }
+
+    fn finish(&mut self, _emitter: &Emitter<()>) {
         // final accounting
         self.metrics
             .add_worker_load(self.id.index(), &self.period_load);
         self.period_load = WorkerLoad::default();
         self.metrics
             .set_worker_memory(self.id.index(), self.index.memory_usage());
-        self
     }
 }
 

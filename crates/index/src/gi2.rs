@@ -379,6 +379,29 @@ impl Gi2Index {
         self.extract_cell_where(cell, |_| true)
     }
 
+    /// Clones every live query posted in `cell` that satisfies `filter`,
+    /// leaving the cell untouched — the unit of **text-split** migration.
+    /// A term split moves only some of a cell's terms to another worker;
+    /// a query whose representative terms straddle the moved and remaining
+    /// groups must exist on *both* workers or objects routed by the
+    /// not-moved terms stop matching it (the merger deduplicates the
+    /// replicas' results). Queries are returned in id order.
+    pub fn replicate_cell_where<F: Fn(&StsQuery) -> bool>(
+        &self,
+        cell: CellId,
+        filter: F,
+    ) -> Vec<StsQuery> {
+        let idx = self.grid.cell_index(cell);
+        self.cells[idx]
+            .all_queries()
+            .into_iter()
+            .filter_map(|qid| {
+                let stored = self.queries.get(&qid)?;
+                filter(&stored.query).then(|| stored.query.clone())
+            })
+            .collect()
+    }
+
     /// Approximate memory footprint of the index in bytes (posting lists,
     /// stored queries, tombstones and term statistics).
     pub fn memory_usage(&self) -> usize {

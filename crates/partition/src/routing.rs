@@ -250,14 +250,22 @@ impl RoutingTable {
     /// `H2` is left untouched — filters are rebuilt by the periodic global
     /// adjustment instead).
     pub fn route_delete(&self, query: &StsQuery) -> Vec<WorkerId> {
-        let rep_terms = query
-            .keywords
-            .representative_terms(|t| self.object_stats.frequency(t));
+        // A deletion must reach every worker that could hold a copy of the
+        // query, and that is a strictly wider set than the insertion's
+        // representative-term routing: text-split migrations *replicate* a
+        // query to the worker owning any of its terms in a cell (the
+        // straddling-query rule of `Gi2Index::replicate_cell_where`), and
+        // the registry's and the workers' representative-term choices can
+        // drift as term statistics evolve. Routing the delete by **all** of
+        // the query's terms covers every such worker; a delete for an
+        // absent id is a cheap no-op at the worker, and deletions are rare
+        // relative to objects.
+        let all_terms = query.keywords.all_terms();
         let cells = self.grid.cells_overlapping(&query.region);
         let mut workers: Vec<WorkerId> = Vec::with_capacity(2);
         for cell in cells {
             let idx = self.grid.cell_index(cell);
-            for &t in &rep_terms {
+            for &t in &all_terms {
                 let w = self.cells[idx].worker_for(t);
                 if !workers.contains(&w) {
                     workers.push(w);
@@ -515,6 +523,30 @@ mod tests {
         assert_eq!(table.route_object(&obj(&[3], 1.0, 1.0)), vec![WorkerId(0)]);
         table.reassign_cell(cell, WorkerId(1));
         assert_eq!(table.route_object(&obj(&[3], 1.0, 1.0)), vec![WorkerId(1)]);
+    }
+
+    #[test]
+    fn delete_reaches_text_split_replicas() {
+        // Regression: a text split moving a *non-representative* term of a
+        // query replicates the query to the destination worker (the
+        // worker-side straddling rule), so the deletion must be routed by
+        // ALL the query's terms — representative-term routing would miss
+        // the replica and leave it matching forever.
+        let mut table = split_table();
+        // AND(3, 4): with uniform stats the representative term is TermId(3)
+        let q = qry(1, &[3, 4], Rect::from_coords(0.0, 0.0, 4.0, 4.0));
+        table.route_insert(&q);
+        let cell = table.grid().cell_of(&Point::new(1.0, 1.0)).unwrap();
+        // move the non-representative term 4 to worker 1
+        let moved: HashSet<TermId> = [TermId(4)].into_iter().collect();
+        table.split_cell_by_terms(cell, &moved, WorkerId(1));
+        let mut del = table.route_delete(&q);
+        del.sort();
+        assert_eq!(
+            del,
+            vec![WorkerId(0), WorkerId(1)],
+            "the deletion must reach the replica created by the text split"
+        );
     }
 
     #[test]

@@ -202,8 +202,8 @@ impl<T> BatchingEmitter<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::channel::bounded;
     use crate::operator::Emitter;
-    use crossbeam_channel::bounded;
 
     #[test]
     fn batch_keeps_per_record_timestamps() {

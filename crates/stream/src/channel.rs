@@ -1,0 +1,286 @@
+//! Channels of the dataflow substrate.
+//!
+//! A thin wrapper over `crossbeam-channel` adding the one capability the
+//! cooperative executor backend needs: a **notify hook** on the receiving
+//! side. When an operator task is multiplexed onto a core pool it parks
+//! (returns [`crate::coop::TaskPoll::Blocked`]) instead of blocking an OS
+//! thread on `recv`; the sender side must then tell the scheduler that the
+//! task is runnable again. Every `send` — and the disconnection of the last
+//! sender — fires the wakers attached to the channel. On the OS-thread
+//! backend no waker is ever attached and the hook is a single relaxed atomic
+//! load, so the blocking hot path is unchanged.
+//!
+//! The whole workspace creates channels through these constructors (or
+//! through [`crate::runtime::Runtime::bounded`], which picks the right
+//! capacity semantics per backend), so swapping backends never changes
+//! operator code.
+
+use crossbeam_channel as cb;
+pub use crossbeam_channel::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
+use parking_lot::Mutex;
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A wakeup callback attached to a channel: invoked after every successful
+/// send and when the last sender disconnects.
+pub(crate) type Waker = Arc<dyn Fn() + Send + Sync>;
+
+/// The shared notify state of one channel. Wakers are attached by the
+/// cooperative runtime when it spawns the task that owns the receiving side;
+/// the OS-thread backend attaches none.
+#[derive(Default)]
+pub(crate) struct NotifySlot {
+    has_wakers: AtomicBool,
+    wakers: Mutex<Vec<Waker>>,
+}
+
+impl NotifySlot {
+    /// Fires every attached waker. Cheap (one relaxed load) when none are
+    /// attached.
+    pub(crate) fn notify(&self) {
+        if self.has_wakers.load(Ordering::Acquire) {
+            for waker in self.wakers.lock().iter() {
+                waker();
+            }
+        }
+    }
+
+    /// Attaches a waker. Must happen before the owning task first parks,
+    /// otherwise a send racing the attachment could be missed.
+    pub(crate) fn attach(&self, waker: Waker) {
+        self.wakers.lock().push(waker);
+        self.has_wakers.store(true, Ordering::Release);
+    }
+}
+
+pub(crate) struct Hooks {
+    slot: NotifySlot,
+    /// Live `Sender` clones; the drop of the last one fires the wakers so a
+    /// parked task can observe the disconnection and finish.
+    senders: AtomicUsize,
+}
+
+/// The sending half of a channel (see [`bounded`] / [`unbounded`]).
+pub struct Sender<T> {
+    /// `ManuallyDrop` so `Drop` can disconnect the inner sender *before*
+    /// firing the wakers: notifying first would let a parked task observe
+    /// `Empty` instead of `Disconnected`, park again, and never wake.
+    inner: ManuallyDrop<cb::Sender<T>>,
+    hooks: Arc<Hooks>,
+}
+
+/// The receiving half of a channel (see [`bounded`] / [`unbounded`]).
+pub struct Receiver<T> {
+    inner: cb::Receiver<T>,
+    hooks: Arc<Hooks>,
+}
+
+fn wrap<T>(pair: (cb::Sender<T>, cb::Receiver<T>)) -> (Sender<T>, Receiver<T>) {
+    let hooks = Arc::new(Hooks {
+        slot: NotifySlot::default(),
+        senders: AtomicUsize::new(1),
+    });
+    (
+        Sender {
+            inner: ManuallyDrop::new(pair.0),
+            hooks: Arc::clone(&hooks),
+        },
+        Receiver {
+            inner: pair.1,
+            hooks,
+        },
+    )
+}
+
+/// Creates a channel with a fixed capacity; `send` blocks while full.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    wrap(cb::bounded(capacity))
+}
+
+/// Creates a channel with unlimited capacity; `send` never blocks.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    wrap(cb::unbounded())
+}
+
+impl<T> Sender<T> {
+    /// Sends a message, blocking while the channel is full.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner.send(value)?;
+        self.hooks.slot.notify();
+        Ok(())
+    }
+
+    /// Sends a message without blocking.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        self.inner.try_send(value)?;
+        self.hooks.slot.notify();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the channel is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives a message, blocking until one is available or every sender
+    /// is dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv()
+    }
+
+    /// Receives a message without blocking.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv()
+    }
+
+    /// Receives a message, giving up after `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout)
+    }
+
+    /// A blocking iterator ending when the channel is disconnected and
+    /// drained.
+    pub fn iter(&self) -> cb::Iter<'_, T> {
+        self.inner.iter()
+    }
+
+    /// A non-blocking iterator over currently available messages.
+    pub fn try_iter(&self) -> cb::TryIter<'_, T> {
+        self.inner.try_iter()
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the channel is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// The notify slot shared by every clone of this channel's endpoints
+    /// (the cooperative runtime attaches task wakers here).
+    pub(crate) fn notify_slot(&self) -> Arc<Hooks> {
+        Arc::clone(&self.hooks)
+    }
+}
+
+impl Hooks {
+    pub(crate) fn attach_waker(&self, waker: Waker) {
+        self.slot.attach(waker);
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.hooks.senders.fetch_add(1, Ordering::Relaxed);
+        Self {
+            inner: ManuallyDrop::new((*self.inner).clone()),
+            hooks: Arc::clone(&self.hooks),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        // Disconnect the inner sender FIRST: a waker fired before the
+        // channel reports `Disconnected` would let the receiving task poll
+        // `Empty`, park again, and sleep forever (the notification below is
+        // the last one it will ever get).
+        // SAFETY: `inner` is never used again; Drop runs exactly once.
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        if self.hooks.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // last sender gone: wake parked receivers so they can observe
+            // the disconnection and run their `finish`
+            self.hooks.slot.notify();
+        }
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+            hooks: Arc::clone(&self.hooks),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = cb::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn send_fires_attached_waker() {
+        let (tx, rx) = unbounded::<u32>();
+        let fired = Arc::new(AtomicU32::new(0));
+        let observer = Arc::clone(&fired);
+        rx.notify_slot().attach_waker(Arc::new(move || {
+            observer.fetch_add(1, Ordering::SeqCst);
+        }));
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 2);
+        assert_eq!(rx.try_recv(), Ok(1));
+    }
+
+    #[test]
+    fn last_sender_drop_fires_waker() {
+        let (tx, rx) = unbounded::<u32>();
+        let tx2 = tx.clone();
+        let fired = Arc::new(AtomicU32::new(0));
+        let observer = Arc::clone(&fired);
+        rx.notify_slot().attach_waker(Arc::new(move || {
+            observer.fetch_add(1, Ordering::SeqCst);
+        }));
+        drop(tx);
+        assert_eq!(fired.load(Ordering::SeqCst), 0, "one sender still alive");
+        drop(tx2);
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "disconnect must wake");
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn blocking_semantics_are_preserved_without_wakers() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        let handle = std::thread::spawn(move || rx.iter().sum::<u32>());
+        tx.send(3).unwrap();
+        drop(tx);
+        assert_eq!(handle.join().unwrap(), 6);
+    }
+}

@@ -1,28 +1,34 @@
 //! A minimal in-process stream-processing substrate for PS2Stream.
 //!
 //! The paper deploys PS2Stream on Apache Storm over a 32-node EC2 cluster;
-//! this crate is the substitution documented in DESIGN.md: executors are OS
-//! threads connected by bounded `crossbeam` channels (providing the same
-//! backpressure and queueing behaviour that drives the throughput/latency
-//! trade-offs in the evaluation), tuples are wrapped in timestamped
-//! [`Envelope`]s for latency accounting, and [`metrics`] collects the
-//! throughput, mean latency and latency distributions the figures report.
+//! this crate is the substitution documented in DESIGN.md: operators are
+//! spawned onto a pluggable [`runtime::Runtime`] — either one OS thread per
+//! executor connected by bounded channels (backpressure and queueing as in
+//! the evaluation) or a cooperative executor multiplexing pollable operator
+//! tasks over a fixed core pool, with a seeded deterministic simulation mode
+//! for reproducing exact interleavings ([`coop`]). Tuples are wrapped in
+//! timestamped [`Envelope`]s for latency accounting, and [`metrics`]
+//! collects the throughput, mean latency and latency distributions the
+//! figures report.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod batch;
+pub mod channel;
+pub mod coop;
 pub mod envelope;
 pub mod metrics;
 pub mod operator;
 pub mod runtime;
 
 pub use batch::{Batch, BatchBuffer, BatchingEmitter};
-pub use crossbeam_channel::{bounded, unbounded, Receiver, Sender};
+pub use channel::{bounded, unbounded, Receiver, Sender};
+pub use coop::{PollTask, TaskPoll};
 pub use envelope::Envelope;
 pub use metrics::{LatencyBreakdown, LatencyRecorder, ThroughputMeter};
 pub use operator::{run_operator, Emitter, Operator};
-pub use runtime::Runtime;
+pub use runtime::{CoopConfig, Runtime, RuntimeBackend, TaskHandle};
 
 #[cfg(test)]
 mod integration {
@@ -69,8 +75,8 @@ mod integration {
         let (odd_tx, odd_rx) = bounded::<Envelope<u64>>(64);
         let (result_tx, result_rx) = unbounded::<u64>();
 
-        let mut rt = Runtime::new();
-        rt.spawn("splitter", move || {
+        let mut rt = Runtime::threads();
+        rt.spawn_service("splitter", move || {
             run_operator(Splitter, src_rx, Emitter::new(vec![even_tx, odd_tx]));
         });
         for (name, rx) in [("even", even_rx), ("odd", odd_rx)] {
@@ -80,7 +86,7 @@ mod integration {
                 throughput: Arc::clone(&throughput),
                 result: result_tx.clone(),
             };
-            rt.spawn(name, move || {
+            rt.spawn_service(name, move || {
                 run_operator(summer, rx, Emitter::sink());
             });
         }
@@ -117,8 +123,8 @@ mod integration {
             }
         }
         let (tx, rx) = bounded::<Envelope<u64>>(2);
-        let mut rt = Runtime::new();
-        rt.spawn("slow", move || {
+        let mut rt = Runtime::threads();
+        rt.spawn_service("slow", move || {
             let op = run_operator(Slow { seen: 0 }, rx, Emitter::sink());
             assert_eq!(op.seen, 100);
         });

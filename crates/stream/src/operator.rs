@@ -4,12 +4,13 @@
 //! provides the minimal equivalent needed by the reproduction: an
 //! [`Operator`] processes one input message at a time and emits messages to a
 //! set of downstream channels through an [`Emitter`]. Operators are spawned
-//! as OS threads by the [`crate::runtime::Runtime`]; when every upstream
-//! sender is dropped the operator's input drains, `finish` runs, and its own
-//! output senders are dropped — shutdown propagates naturally through the
-//! topology exactly like the end of a finite stream.
+//! onto the pluggable substrate by [`crate::runtime::Runtime`] (an OS thread
+//! each, or cooperative tasks over a core pool); when every upstream sender
+//! is dropped the operator's input drains, `finish` runs, and its own output
+//! senders are dropped — shutdown propagates naturally through the topology
+//! exactly like the end of a finite stream.
 
-use crossbeam_channel::{Receiver, Sender, TrySendError};
+use crate::channel::{Receiver, Sender, TrySendError};
 
 /// Routes messages emitted by an operator to its downstream channels.
 #[derive(Debug, Clone)]
@@ -78,14 +79,23 @@ pub trait Operator: Send + 'static {
     /// Processes one input message, emitting zero or more outputs.
     fn process(&mut self, input: Self::In, emitter: &Emitter<Self::Out>);
 
-    /// Called once after the input stream has drained, before the operator's
-    /// outputs are closed.
+    /// Called once after the input stream has drained (or the operator asked
+    /// to stop), before the operator's outputs are closed.
     fn finish(&mut self, _emitter: &Emitter<Self::Out>) {}
+
+    /// Checked after every `process`: returning true terminates the operator
+    /// immediately (its `finish` still runs). Lets control messages like a
+    /// worker `Shutdown` end an executor whose upstream senders are still
+    /// alive — essential when peers hold senders to each other and waiting
+    /// for disconnection would deadlock.
+    fn wants_stop(&self) -> bool {
+        false
+    }
 }
 
 /// Runs an operator to completion on the current thread: receive until every
-/// upstream sender is gone, then finish. Returns the operator so callers can
-/// inspect its final state.
+/// upstream sender is gone or the operator asks to stop, then finish.
+/// Returns the operator so callers can inspect its final state.
 pub fn run_operator<O: Operator>(
     mut operator: O,
     input: Receiver<O::In>,
@@ -93,6 +103,9 @@ pub fn run_operator<O: Operator>(
 ) -> O {
     while let Ok(message) = input.recv() {
         operator.process(message, &emitter);
+        if operator.wants_stop() {
+            break;
+        }
     }
     operator.finish(&emitter);
     operator
@@ -101,7 +114,7 @@ pub fn run_operator<O: Operator>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crossbeam_channel::bounded;
+    use crate::channel::bounded;
 
     struct Doubler {
         processed: usize,

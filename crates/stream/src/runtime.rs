@@ -1,52 +1,360 @@
-//! Thread management for topologies.
+//! The pluggable execution substrate of a topology.
 //!
-//! Every executor (dispatcher, worker, merger) runs on its own OS thread —
-//! the in-process analogue of a Storm executor on a cluster node. The
-//! [`Runtime`] owns the join handles and propagates panics when joined, so a
-//! failing executor cannot silently vanish.
+//! PS2Stream's operators (dispatchers, workers, mergers) are written against
+//! the [`crate::operator::Operator`] trait and are agnostic to *how* they are
+//! executed. [`Runtime`] is the substrate they are spawned onto; it comes in
+//! two backends selected by [`RuntimeBackend`]:
+//!
+//! * **Threads** (`RuntimeBackend::Threads`, the default) — one OS thread per
+//!   operator, blocking `recv`, bounded channels with real backpressure. The
+//!   in-process analogue of a Storm executor per node.
+//! * **Coop** (`RuntimeBackend::Coop`) — operators become pollable tasks
+//!   multiplexed over a fixed core pool (see [`crate::coop`]). With
+//!   [`CoopConfig::seed`] set, the pool collapses to a single-threaded
+//!   **deterministic** scheduler: tasks run only while the driver joins the
+//!   runtime, and the interleaving is a pure function of the seed.
+//!
+//! Channels must be created through [`Runtime::bounded`] /
+//! [`Runtime::unbounded`]: the cooperative backends make every channel
+//! unbounded (a cooperative task must never block mid-poll), while the
+//! thread backend keeps the requested capacity.
 
-use std::thread::{self, JoinHandle};
+use crate::channel::{self, Receiver, Sender};
+use crate::coop::{OperatorTask, PollTask, PoolRuntime, SimRuntime};
+use crate::operator::{run_operator, Emitter, Operator};
+use std::thread::JoinHandle;
 
-/// Owns the threads of a running topology.
-#[derive(Debug, Default)]
+/// Configuration of the cooperative executor backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoopConfig {
+    /// Number of scheduler threads in the core pool; `0` = one per available
+    /// core. Ignored in deterministic mode (always single-threaded).
+    pub pool_threads: usize,
+    /// Messages an operator task may process per poll before yielding the
+    /// scheduler thread (the send/recv yielding granularity).
+    pub poll_budget: usize,
+    /// When set, run in deterministic single-threaded simulation mode: the
+    /// scheduler picks the next task pseudo-randomly from this seed and only
+    /// runs while the driving thread joins the runtime.
+    pub seed: Option<u64>,
+}
+
+impl Default for CoopConfig {
+    fn default() -> Self {
+        Self {
+            pool_threads: 0,
+            poll_budget: 32,
+            seed: None,
+        }
+    }
+}
+
+/// Which execution substrate a topology runs on.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum RuntimeBackend {
+    /// One OS thread per operator (the default).
+    #[default]
+    Threads,
+    /// Cooperative tasks over a core pool, or the deterministic simulator
+    /// when [`CoopConfig::seed`] is set.
+    Coop(CoopConfig),
+}
+
+impl RuntimeBackend {
+    /// The cooperative pool backend with default settings.
+    pub fn coop() -> Self {
+        Self::Coop(CoopConfig::default())
+    }
+
+    /// The deterministic single-threaded simulation backend: a full run is a
+    /// pure function of the workload and this seed. Poll budget 1 maximizes
+    /// the interleavings the seed space can express.
+    pub fn deterministic(seed: u64) -> Self {
+        Self::Coop(CoopConfig {
+            pool_threads: 1,
+            poll_budget: 1,
+            seed: Some(seed),
+        })
+    }
+
+    /// True when this backend is the deterministic simulator.
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self, Self::Coop(c) if c.seed.is_some())
+    }
+
+    /// Short name used in reports: `threads`, `coop` or `sim`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Threads => "threads",
+            Self::Coop(c) if c.seed.is_some() => "sim",
+            Self::Coop(_) => "coop",
+        }
+    }
+
+    /// Parses a backend spec: `threads`, `coop`, `coop:<pool-threads>`,
+    /// `sim` (seed 0) or `sim:<seed>`. Returns `None` for anything else.
+    pub fn parse(spec: &str) -> Option<Self> {
+        match spec {
+            "threads" => Some(Self::Threads),
+            "coop" => Some(Self::coop()),
+            "sim" => Some(Self::deterministic(0)),
+            other => {
+                if let Some(threads) = other.strip_prefix("coop:") {
+                    let pool_threads = threads.parse().ok()?;
+                    Some(Self::Coop(CoopConfig {
+                        pool_threads,
+                        ..CoopConfig::default()
+                    }))
+                } else if let Some(seed) = other.strip_prefix("sim:") {
+                    Some(Self::deterministic(seed.parse().ok()?))
+                } else {
+                    None
+                }
+            }
+        }
+    }
+
+    /// Reads the backend from the `PS2_RUNTIME` environment variable (same
+    /// syntax as [`RuntimeBackend::parse`]); `None` when unset.
+    ///
+    /// # Panics
+    /// Panics on a malformed value — a typo must not silently run the
+    /// default backend.
+    pub fn from_env() -> Option<Self> {
+        let spec = std::env::var("PS2_RUNTIME").ok()?;
+        Some(Self::parse(&spec).unwrap_or_else(|| {
+            panic!("PS2_RUNTIME={spec:?}: expected threads|coop|coop:<threads>|sim|sim:<seed>")
+        }))
+    }
+}
+
+/// Identifies a spawned executor within its [`Runtime`] (opaque; pass back
+/// to [`Runtime::join_tasks`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskHandle(Handle);
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Handle {
+    /// Index into the runtime's OS-thread handles (thread backend operators
+    /// and service threads of the pool backend).
+    Thread(usize),
+    /// Task id inside the cooperative scheduler.
+    Coop(usize),
+}
+
+enum Inner {
+    Threads,
+    Pool(PoolRuntime),
+    Sim(SimRuntime),
+}
+
+/// Owns the executors of a running topology, whatever substrate they run on.
 pub struct Runtime {
-    handles: Vec<(String, JoinHandle<()>)>,
+    inner: Inner,
+    /// Messages a cooperative operator task may process per poll.
+    poll_budget: usize,
+    /// OS threads: every executor on the thread backend, service threads
+    /// (e.g. the adjustment controller) on the pool backend.
+    threads: Vec<Option<(String, JoinHandle<()>)>>,
 }
 
 impl Runtime {
-    /// Creates an empty runtime.
-    pub fn new() -> Self {
-        Self::default()
+    /// Creates a runtime for the given backend.
+    pub fn new(backend: &RuntimeBackend) -> Self {
+        let inner = match backend {
+            RuntimeBackend::Threads => Inner::Threads,
+            RuntimeBackend::Coop(config) => match config.seed {
+                Some(seed) => Inner::Sim(SimRuntime::new(seed)),
+                None => {
+                    let pool = if config.pool_threads == 0 {
+                        std::thread::available_parallelism()
+                            .map(|p| p.get())
+                            .unwrap_or(4)
+                    } else {
+                        config.pool_threads
+                    };
+                    Inner::Pool(PoolRuntime::new(pool))
+                }
+            },
+        };
+        let poll_budget = match backend {
+            RuntimeBackend::Threads => 1,
+            RuntimeBackend::Coop(c) => c.poll_budget.max(1),
+        };
+        Self {
+            inner,
+            poll_budget,
+            threads: Vec::new(),
+        }
     }
 
-    /// Spawns a named executor thread.
-    pub fn spawn<F>(&mut self, name: impl Into<String>, f: F)
+    /// A runtime on the OS-thread backend (the historical default).
+    pub fn threads() -> Self {
+        Self::new(&RuntimeBackend::Threads)
+    }
+
+    /// True when this runtime is the deterministic simulator: executors make
+    /// progress only inside [`Runtime::join_tasks`] / [`Runtime::join`].
+    pub fn is_deterministic(&self) -> bool {
+        matches!(self.inner, Inner::Sim(_))
+    }
+
+    /// Creates a channel with the backend's capacity semantics: the thread
+    /// backend honours `capacity` (blocking backpressure), the cooperative
+    /// backends return an unbounded channel because a task must never block
+    /// inside a poll.
+    pub fn bounded<T: Send + 'static>(&self, capacity: usize) -> (Sender<T>, Receiver<T>) {
+        match self.inner {
+            Inner::Threads => channel::bounded(capacity),
+            Inner::Pool(_) | Inner::Sim(_) => channel::unbounded(),
+        }
+    }
+
+    /// Creates an unbounded channel on any backend.
+    pub fn unbounded<T: Send + 'static>(&self) -> (Sender<T>, Receiver<T>) {
+        channel::unbounded()
+    }
+
+    /// Spawns an operator onto the substrate: a dedicated OS thread on the
+    /// thread backend, a pollable task on the cooperative backends (waking on
+    /// its input channel).
+    pub fn spawn_operator<O: Operator>(
+        &mut self,
+        name: impl Into<String>,
+        operator: O,
+        input: Receiver<O::In>,
+        emitter: Emitter<O::Out>,
+    ) -> TaskHandle {
+        let name = name.into();
+        let poll_budget = self.poll_budget;
+        match &mut self.inner {
+            Inner::Threads => {
+                let handle = std::thread::Builder::new()
+                    .name(name.clone())
+                    .spawn(move || {
+                        run_operator(operator, input, emitter);
+                    })
+                    .expect("failed to spawn executor thread");
+                self.threads.push(Some((name, handle)));
+                TaskHandle(Handle::Thread(self.threads.len() - 1))
+            }
+            Inner::Pool(pool) => {
+                let hooks = input.notify_slot();
+                let task = OperatorTask::new(operator, input, emitter, poll_budget);
+                let id = pool.spawn(name, Box::new(task), &[hooks]);
+                TaskHandle(Handle::Coop(id))
+            }
+            Inner::Sim(sim) => {
+                let task = OperatorTask::new(operator, input, emitter, poll_budget);
+                TaskHandle(Handle::Coop(sim.spawn(Box::new(task))))
+            }
+        }
+    }
+
+    /// Spawns a custom pollable task (e.g. the adjustment controller's
+    /// simulation state machine) onto a cooperative backend. On the pool
+    /// backend the task is re-polled only when `wake_on` channels receive
+    /// traffic, so pass every channel it consumes.
+    ///
+    /// # Panics
+    /// Panics on the thread backend — blocking executors belong in
+    /// [`Runtime::spawn_service`].
+    pub fn spawn_task(
+        &mut self,
+        name: impl Into<String>,
+        task: Box<dyn PollTask>,
+        wake_on: &[&Receiver<impl Send + 'static>],
+    ) -> TaskHandle {
+        match &mut self.inner {
+            Inner::Threads => {
+                panic!("spawn_task is only available on the cooperative backends")
+            }
+            Inner::Pool(pool) => {
+                let hooks: Vec<_> = wake_on.iter().map(|rx| rx.notify_slot()).collect();
+                TaskHandle(Handle::Coop(pool.spawn(name.into(), task, &hooks)))
+            }
+            Inner::Sim(sim) => TaskHandle(Handle::Coop(sim.spawn(task))),
+        }
+    }
+
+    /// Spawns a blocking service loop on its own OS thread (thread and pool
+    /// backends). The deterministic simulator forbids hidden threads — model
+    /// the service as a [`PollTask`] and use [`Runtime::spawn_task`] there.
+    ///
+    /// # Panics
+    /// Panics on the deterministic backend.
+    pub fn spawn_service<F>(&mut self, name: impl Into<String>, f: F) -> TaskHandle
     where
         F: FnOnce() + Send + 'static,
     {
+        assert!(
+            !self.is_deterministic(),
+            "service threads would break determinism; spawn a PollTask instead"
+        );
         let name = name.into();
-        let handle = thread::Builder::new()
+        let handle = std::thread::Builder::new()
             .name(name.clone())
             .spawn(f)
-            .expect("failed to spawn executor thread");
-        self.handles.push((name, handle));
+            .expect("failed to spawn service thread");
+        self.threads.push(Some((name, handle)));
+        TaskHandle(Handle::Thread(self.threads.len() - 1))
     }
 
-    /// Number of executor threads spawned.
+    /// Number of executors spawned so far (operators + services + tasks).
     pub fn num_executors(&self) -> usize {
-        self.handles.len()
+        let coop = match &self.inner {
+            Inner::Threads => 0,
+            Inner::Pool(pool) => pool.num_tasks(),
+            Inner::Sim(sim) => sim.num_tasks(),
+        };
+        coop + self.threads.len()
     }
 
-    /// Waits for every executor to terminate.
+    /// Waits until every listed executor has terminated. On the deterministic
+    /// backend this *runs* the seeded schedule (all alive tasks participate)
+    /// until the targets finish.
     ///
     /// # Panics
-    /// Panics with the executor's name if any executor thread panicked.
-    pub fn join(self) {
-        for (name, handle) in self.handles {
-            if handle.join().is_err() {
-                panic!("executor '{name}' panicked");
+    /// Panics with the executor's name if it panicked.
+    pub fn join_tasks(&mut self, handles: &[TaskHandle]) {
+        let mut coop_ids = Vec::new();
+        for handle in handles {
+            match handle.0 {
+                Handle::Coop(id) => coop_ids.push(id),
+                Handle::Thread(index) => {
+                    if let Some((name, join)) = self.threads[index].take() {
+                        if join.join().is_err() {
+                            panic!("executor '{name}' panicked");
+                        }
+                    }
+                }
             }
         }
+        if !coop_ids.is_empty() {
+            match &mut self.inner {
+                Inner::Threads => unreachable!("coop handle on the thread backend"),
+                Inner::Pool(pool) => pool.join(&coop_ids),
+                Inner::Sim(sim) => sim.run_until(&coop_ids),
+            }
+        }
+    }
+
+    /// Waits for every executor spawned on this runtime.
+    pub fn join(mut self) {
+        let handles: Vec<TaskHandle> = (0..self.threads.len())
+            .map(|i| TaskHandle(Handle::Thread(i)))
+            .collect();
+        let coop: Vec<TaskHandle> = match &self.inner {
+            Inner::Threads => Vec::new(),
+            Inner::Pool(pool) => (0..pool.num_tasks())
+                .map(|i| TaskHandle(Handle::Coop(i)))
+                .collect(),
+            Inner::Sim(sim) => (0..sim.num_tasks())
+                .map(|i| TaskHandle(Handle::Coop(i)))
+                .collect(),
+        };
+        self.join_tasks(&coop);
+        self.join_tasks(&handles);
     }
 }
 
@@ -57,12 +365,12 @@ mod tests {
     use std::sync::Arc;
 
     #[test]
-    fn spawn_and_join_runs_all_executors() {
+    fn spawn_and_join_runs_all_service_threads() {
         let counter = Arc::new(AtomicU32::new(0));
-        let mut rt = Runtime::new();
+        let mut rt = Runtime::threads();
         for i in 0..4 {
             let counter = Arc::clone(&counter);
-            rt.spawn(format!("exec-{i}"), move || {
+            rt.spawn_service(format!("exec-{i}"), move || {
                 counter.fetch_add(1, Ordering::SeqCst);
             });
         }
@@ -74,8 +382,85 @@ mod tests {
     #[test]
     #[should_panic(expected = "executor 'boom' panicked")]
     fn join_propagates_panics() {
-        let mut rt = Runtime::new();
-        rt.spawn("boom", || panic!("kaboom"));
+        let mut rt = Runtime::threads();
+        rt.spawn_service("boom", || panic!("kaboom"));
         rt.join();
+    }
+
+    #[test]
+    fn backend_parsing_round_trips() {
+        assert_eq!(
+            RuntimeBackend::parse("threads"),
+            Some(RuntimeBackend::Threads)
+        );
+        assert_eq!(RuntimeBackend::parse("coop"), Some(RuntimeBackend::coop()));
+        assert_eq!(
+            RuntimeBackend::parse("coop:3"),
+            Some(RuntimeBackend::Coop(CoopConfig {
+                pool_threads: 3,
+                ..CoopConfig::default()
+            }))
+        );
+        assert_eq!(
+            RuntimeBackend::parse("sim:42"),
+            Some(RuntimeBackend::deterministic(42))
+        );
+        assert!(RuntimeBackend::parse("tokio").is_none());
+        assert!(RuntimeBackend::deterministic(1).is_deterministic());
+        assert!(!RuntimeBackend::coop().is_deterministic());
+        assert_eq!(RuntimeBackend::Threads.name(), "threads");
+        assert_eq!(RuntimeBackend::coop().name(), "coop");
+        assert_eq!(RuntimeBackend::deterministic(9).name(), "sim");
+    }
+
+    /// The same operator pipeline produces the same results on all three
+    /// substrates.
+    mod cross_backend {
+        use super::*;
+        use crate::envelope::Envelope;
+
+        struct Doubler {
+            out: Option<crate::channel::Sender<u64>>,
+        }
+        impl Operator for Doubler {
+            type In = Envelope<u64>;
+            type Out = ();
+            fn process(&mut self, input: Envelope<u64>, _e: &Emitter<()>) {
+                if let Some(out) = &self.out {
+                    let _ = out.send(input.payload * 2);
+                }
+            }
+            fn finish(&mut self, _e: &Emitter<()>) {
+                self.out = None;
+            }
+        }
+
+        fn run(backend: &RuntimeBackend) -> Vec<u64> {
+            let mut rt = Runtime::new(backend);
+            let (in_tx, in_rx) = rt.bounded::<Envelope<u64>>(64);
+            let (out_tx, out_rx) = rt.unbounded::<u64>();
+            let h = rt.spawn_operator(
+                "doubler",
+                Doubler { out: Some(out_tx) },
+                in_rx,
+                Emitter::sink(),
+            );
+            for i in 0..200u64 {
+                in_tx.send(Envelope::now(i, i)).unwrap();
+            }
+            drop(in_tx);
+            rt.join_tasks(&[h]);
+            let mut got: Vec<u64> = out_rx.try_iter().collect();
+            got.sort_unstable();
+            got
+        }
+
+        #[test]
+        fn all_backends_agree() {
+            let expected: Vec<u64> = (0..200u64).map(|i| i * 2).collect();
+            assert_eq!(run(&RuntimeBackend::Threads), expected);
+            assert_eq!(run(&RuntimeBackend::coop()), expected);
+            assert_eq!(run(&RuntimeBackend::deterministic(3)), expected);
+        }
     }
 }

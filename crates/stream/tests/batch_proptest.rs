@@ -1,0 +1,115 @@
+//! Property tests of the [`BatchBuffer`] reorder buffers under adversarial
+//! delivery.
+//!
+//! The dispatcher and worker hot paths rely on `BatchBuffer` to regroup a
+//! routed record stream into per-output batches. The batches leave through
+//! three doors — threshold flushes from `push`, targeted `flush`, and
+//! `flush_all` — and correctness means: for every output, concatenating all
+//! batches that ever left it reproduces exactly the pushed record sequence
+//! (no loss, no duplication, no reordering), no emitted batch exceeds the
+//! configured size, and nothing is left behind after a final `flush_all`.
+//! The inputs are adversarial: arbitrary interleavings across outputs,
+//! out-of-order and **duplicate sequence numbers** (record identity is its
+//! payload, not its sequence — exactly the situation after a migration
+//! re-sends replicated records), pushes to unknown outputs, and flushes at
+//! arbitrary points.
+
+use proptest::prelude::*;
+use ps2stream_stream::{Batch, BatchBuffer, Envelope};
+
+/// One scripted action against the buffer.
+#[derive(Debug, Clone)]
+enum Action {
+    /// Push a record to `output` carrying an adversarial `sequence`.
+    Push { output: usize, sequence: u64 },
+    /// Flush one output.
+    Flush { output: usize },
+    /// Flush every output.
+    FlushAll,
+}
+
+fn arb_action(num_outputs: usize) -> impl Strategy<Value = Action> {
+    // pushes dominate; output may be out of range (must be ignored);
+    // sequences collide and go backwards on purpose
+    (0u8..10, 0usize..num_outputs + 2, 0u64..16).prop_map(|(selector, output, sequence)| {
+        match selector {
+            0 => Action::Flush { output },
+            1 => Action::FlushAll,
+            _ => Action::Push { output, sequence },
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_record_leaves_exactly_once_in_push_order(
+        batch_size in 1usize..6,
+        num_outputs in 1usize..4,
+        actions in proptest::collection::vec(arb_action(3), 0..120),
+    ) {
+        let mut buffer: BatchBuffer<u64> = BatchBuffer::new(num_outputs, batch_size);
+        // payload = unique push index: identity survives duplicate sequences
+        let mut next_payload = 0u64;
+        let mut pushed: Vec<Vec<(u64, u64)>> = vec![Vec::new(); num_outputs];
+        let mut emitted: Vec<Vec<(u64, u64)>> = vec![Vec::new(); num_outputs];
+        let record = |batch: &Batch<u64>| -> Vec<(u64, u64)> {
+            batch.records().iter().map(|e| (e.sequence, e.payload)).collect()
+        };
+        for action in &actions {
+            match action {
+                Action::Push { output, sequence } => {
+                    let payload = next_payload;
+                    next_payload += 1;
+                    let full = buffer.push(*output, Envelope::now(*sequence, payload));
+                    if *output < num_outputs {
+                        pushed[*output].push((*sequence, payload));
+                    } else {
+                        // unknown output: silently ignored, nothing emitted
+                        prop_assert!(full.is_none());
+                        continue;
+                    }
+                    if let Some(batch) = full {
+                        // threshold flushes are exactly full batches
+                        prop_assert_eq!(batch.len(), batch_size);
+                        emitted[*output].extend(record(&batch));
+                    }
+                }
+                Action::Flush { output } => {
+                    if let Some(batch) = buffer.flush(*output) {
+                        prop_assert!(*output < num_outputs);
+                        prop_assert!(!batch.is_empty());
+                        prop_assert!(batch.len() <= batch_size);
+                        emitted[*output].extend(record(&batch));
+                    }
+                }
+                Action::FlushAll => {
+                    for (output, batch) in buffer.flush_all() {
+                        prop_assert!(!batch.is_empty());
+                        prop_assert!(batch.len() <= batch_size);
+                        emitted[output].extend(record(&batch));
+                    }
+                }
+            }
+            // the buffer never holds a full batch back
+            for output in 0..num_outputs {
+                prop_assert!(pushed[output].len() - emitted[output].len() < batch_size);
+            }
+        }
+        // drain the remainders
+        for (output, batch) in buffer.flush_all() {
+            emitted[output].extend(record(&batch));
+        }
+        prop_assert_eq!(buffer.pending(), 0);
+        // per output: exact sequence-and-payload equality with the push log
+        for output in 0..num_outputs {
+            prop_assert_eq!(
+                &pushed[output],
+                &emitted[output],
+                "output {} lost, duplicated or reordered records",
+                output
+            );
+        }
+    }
+}
