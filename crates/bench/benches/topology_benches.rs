@@ -1,0 +1,121 @@
+//! Criterion benchmark of topology-aware placement on the routing hot path.
+//!
+//! The point of core pinning plus the socket-sharded `TermRegistry` is that
+//! a dispatcher's routing lookups stop bouncing cache lines between NUMA
+//! nodes: each pinned executor resolves `H2` probes through the shard group
+//! of its own node. This benchmark drives the same fig07-style workload
+//! through the cooperative backend with placement off (floating threads,
+//! flat registry reads) and on (`SystemConfig::with_pinning(true)`), at 4,
+//! 16 and 64 logical workers.
+//!
+//! Expected shape: pinned is no slower than unpinned at 4 workers, and
+//! measurably faster at 64 logical workers on a multi-socket box. On a
+//! single-node machine the topology detector falls back to one node, the
+//! registry keeps its flat layout and the two series coincide — the bench
+//! then simply demonstrates that the placement layer costs nothing.
+//!
+//! Set `PS2_BENCH_FAST=1` (the CI smoke mode) to shrink the driven stream
+//! and sample count so the suite finishes in seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ps2stream::prelude::*;
+
+fn fast_mode() -> bool {
+    std::env::var("PS2_BENCH_FAST").is_ok_and(|v| v != "0")
+}
+
+/// Scheduler threads of the cooperative pool: every online CPU, so a
+/// multi-socket machine actually spreads executors across its nodes and the
+/// pinned/unpinned comparison exercises cross-node traffic.
+fn pool_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+fn build_records(queries: usize, stream_records: usize) -> (WorkloadSample, Vec<StreamRecord>) {
+    let spec = DatasetSpec::tweets_us();
+    let sample = ps2stream_workload::build_sample(spec.clone(), QueryClass::Q1, 2_000, 400, 42);
+    let mut corpus = CorpusGenerator::new(spec.clone(), 49);
+    let corpus_sample = corpus.generate(2_000);
+    let generator = QueryGenerator::from_corpus(
+        &corpus,
+        &corpus_sample,
+        QueryGeneratorConfig::new(QueryClass::Q1),
+        55,
+    );
+    let mut driver =
+        WorkloadDriver::new(DriverConfig::with_mu(queries as u64), corpus, generator, 65);
+    let mut records = driver.warm_up(queries);
+    records.extend((&mut driver).take(stream_records));
+    (sample, records)
+}
+
+fn run_once(
+    sample: &WorkloadSample,
+    records: &[StreamRecord],
+    workers: usize,
+    pinning: bool,
+) -> u64 {
+    let mut system = Ps2StreamBuilder::new(
+        SystemConfig {
+            num_dispatchers: 2,
+            num_workers: workers,
+            num_mergers: 1,
+            ..SystemConfig::default()
+        }
+        .with_runtime(RuntimeBackend::Coop(CoopConfig {
+            pool_threads: pool_threads(),
+            ..CoopConfig::default()
+        }))
+        .with_pinning(pinning),
+    )
+    .with_partitioner(Box::new(HybridPartitioner::default()))
+    .with_calibration_sample(sample.clone())
+    .start();
+    for record in records {
+        system.send(record.clone());
+    }
+    let report = system.finish();
+    report.records_in
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let (queries, stream) = if fast_mode() {
+        (400, 2_000)
+    } else {
+        (1_500, 24_000)
+    };
+    let (sample, records) = build_records(queries, stream);
+    let topology = CpuTopology::detect();
+    eprintln!(
+        "topology: {} node(s), {} CPU(s)",
+        topology.num_nodes(),
+        topology.num_cpus()
+    );
+    let mut group = c.benchmark_group("topology_placement");
+    for workers in [4usize, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("unpinned", workers),
+            &workers,
+            |b, &workers| b.iter(|| run_once(&sample, &records, workers, false)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pinned", workers),
+            &workers,
+            |b, &workers| b.iter(|| run_once(&sample, &records, workers, true)),
+        );
+    }
+    group.finish();
+}
+
+fn c() -> Criterion {
+    Criterion::default().sample_size(if fast_mode() { 2 } else { 5 })
+}
+
+criterion_group! {
+    name = topology;
+    config = c();
+    targets = bench_placement
+}
+criterion_main!(topology);

@@ -6,29 +6,15 @@
 
 use ps2stream::prelude::*;
 use ps2stream_bench::{
-    batch_arg, dataset_tag, datasets, fmt_ms, headline_report_batched, headline_strategies,
-    print_table, runtime_arg, Scale,
+    dataset_tag, datasets, fmt_ms, headline_report_batched, headline_strategies, print_table,
+    RunKnobs, Scale,
 };
 
-fn run_panel(
-    title: &str,
-    class: QueryClass,
-    scale: Scale,
-    batch: Option<usize>,
-    runtime: Option<RuntimeBackend>,
-) {
+fn run_panel(title: &str, class: QueryClass, scale: Scale, knobs: &RunKnobs) {
     let mut rows = Vec::new();
     for dataset in datasets() {
         for strategy in headline_strategies() {
-            let report = headline_report_batched(
-                dataset.clone(),
-                class,
-                strategy,
-                scale,
-                8,
-                batch,
-                runtime.clone(),
-            );
+            let report = headline_report_batched(dataset.clone(), class, strategy, scale, 8, knobs);
             rows.push(vec![
                 format!("STS-{}-{}", dataset_tag(&dataset), class.name()),
                 strategy.to_string(),
@@ -50,37 +36,30 @@ fn run_panel(
 }
 
 fn main() {
-    let batch = batch_arg();
-    let runtime = runtime_arg();
+    let knobs = RunKnobs::from_args();
     println!("Figure 8: latency comparison (Metric, kd-tree, Hybrid)");
     println!(
-        "(4 dispatchers, 8 workers; PS2_SCALE={}; --batch {}; --runtime {})",
+        "(4 dispatchers, 8 workers; PS2_SCALE={}; {})",
         Scale::factor(),
-        batch.map_or("default".to_string(), |b| b.to_string()),
-        runtime
-            .as_ref()
-            .map_or("default".to_string(), |r| r.name().to_string()),
+        knobs.describe(),
     );
     run_panel(
         "Figure 8(a): #Queries=5M (Q1)",
         QueryClass::Q1,
         Scale::q5m(),
-        batch,
-        runtime.clone(),
+        &knobs,
     );
     run_panel(
         "Figure 8(b): #Queries=10M (Q2)",
         QueryClass::Q2,
         Scale::q10m(),
-        batch,
-        runtime.clone(),
+        &knobs,
     );
     run_panel(
         "Figure 8(c): #Queries=10M (Q3)",
         QueryClass::Q3,
         Scale::q10m(),
-        batch,
-        runtime,
+        &knobs,
     );
     println!();
     println!(

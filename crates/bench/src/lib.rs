@@ -8,6 +8,31 @@
 //! The workload sizes are scaled down from the paper's 5M–20M queries so a
 //! complete run finishes on a laptop; set the `PS2_SCALE` environment
 //! variable (default `1.0`) to scale every workload up or down.
+//!
+//! # Example
+//!
+//! Running a tiny end-to-end experiment through the shared harness:
+//!
+//! ```
+//! use ps2stream_bench::{build_partitioner, Experiment, Scale};
+//! use ps2stream::prelude::{DatasetSpec, QueryClass};
+//!
+//! let scale = Scale {
+//!     queries: 200,
+//!     stream_records: 400,
+//!     calibration_objects: 300,
+//!     calibration_queries: 100,
+//! };
+//! let report = Experiment::new(
+//!     DatasetSpec::tiny(),
+//!     QueryClass::Q1,
+//!     build_partitioner("Hybrid"),
+//!     scale,
+//! )
+//! .with_workers(2)
+//! .run();
+//! assert_eq!(report.records_in, (200 + 400) as u64);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -103,6 +128,9 @@ pub struct Experiment {
     /// Execution substrate override (None = the system default, which
     /// honours `PS2_RUNTIME`).
     pub runtime: Option<RuntimeBackend>,
+    /// Core-pinning override (None = the system default, which honours
+    /// `PS2_PIN`).
+    pub pinning: Option<bool>,
     /// Random seed.
     pub seed: u64,
 }
@@ -126,6 +154,7 @@ impl Experiment {
             adjustment: None,
             batch_size: None,
             runtime: None,
+            pinning: None,
             seed: 42,
         }
     }
@@ -151,6 +180,12 @@ impl Experiment {
     /// Overrides the execution substrate (see `SystemConfig::runtime`).
     pub fn with_runtime(mut self, runtime: RuntimeBackend) -> Self {
         self.runtime = Some(runtime);
+        self
+    }
+
+    /// Overrides core pinning (see `SystemConfig::pinning`).
+    pub fn with_pinning(mut self, pinning: bool) -> Self {
+        self.pinning = Some(pinning);
         self
     }
 
@@ -183,6 +218,10 @@ impl Experiment {
         };
         let config = match self.runtime {
             Some(runtime) => config.with_runtime(runtime),
+            None => config,
+        };
+        let config = match self.pinning {
+            Some(pinning) => config.with_pinning(pinning),
             None => config,
         };
         let mut system = Ps2StreamBuilder::new(config)
@@ -305,28 +344,73 @@ pub fn headline_report(
     scale: Scale,
     workers: usize,
 ) -> RunReport {
-    headline_report_batched(dataset, class, strategy, scale, workers, None, None)
+    headline_report_batched(
+        dataset,
+        class,
+        strategy,
+        scale,
+        workers,
+        &RunKnobs::default(),
+    )
 }
 
-/// [`headline_report`] with an explicit hot-path batch size and execution
-/// substrate (the `--batch` / `--runtime` knobs of the fig07/fig08
-/// binaries; `None` = system default).
+/// The optional command-line knobs shared by the fig07/fig08 binaries
+/// (`None` everywhere = system defaults, which honour `PS2_RUNTIME` and
+/// `PS2_PIN`).
+#[derive(Debug, Clone, Default)]
+pub struct RunKnobs {
+    /// `--batch N`: hot-path batch size.
+    pub batch: Option<usize>,
+    /// `--runtime <spec>`: execution substrate.
+    pub runtime: Option<RuntimeBackend>,
+    /// `--pin`: core pinning.
+    pub pinning: Option<bool>,
+}
+
+impl RunKnobs {
+    /// Parses all knobs from the process command line.
+    pub fn from_args() -> Self {
+        Self {
+            batch: batch_arg(),
+            runtime: runtime_arg(),
+            pinning: pin_arg(),
+        }
+    }
+
+    /// Renders the knob line printed in each figure header.
+    pub fn describe(&self) -> String {
+        format!(
+            "--batch {}; --runtime {}; pinning {}",
+            self.batch.map_or("default".to_string(), |b| b.to_string()),
+            self.runtime
+                .as_ref()
+                .map_or("default".to_string(), |r| r.name().to_string()),
+            self.pinning
+                .map_or("default".to_string(), |p| p.to_string()),
+        )
+    }
+}
+
+/// [`headline_report`] with the explicit batch / runtime / pinning knobs of
+/// the fig07/fig08 binaries.
 pub fn headline_report_batched(
     dataset: DatasetSpec,
     class: QueryClass,
     strategy: &str,
     scale: Scale,
     workers: usize,
-    batch: Option<usize>,
-    runtime: Option<RuntimeBackend>,
+    knobs: &RunKnobs,
 ) -> RunReport {
     let mut experiment =
         Experiment::new(dataset, class, build_partitioner(strategy), scale).with_workers(workers);
-    if let Some(batch) = batch {
+    if let Some(batch) = knobs.batch {
         experiment = experiment.with_batch(batch);
     }
-    if let Some(runtime) = runtime {
+    if let Some(runtime) = knobs.runtime.clone() {
         experiment = experiment.with_runtime(runtime);
+    }
+    if let Some(pinning) = knobs.pinning {
+        experiment = experiment.with_pinning(pinning);
     }
     experiment.run()
 }
@@ -366,6 +450,14 @@ pub fn runtime_arg() -> Option<RuntimeBackend> {
     Some(RuntimeBackend::parse(&spec).unwrap_or_else(|| {
         panic!("--runtime {spec:?}: expected threads|coop|coop:<threads>|sim|sim:<seed>")
     }))
+}
+
+/// Parses a `--pin` flag (the core-pinning knob of the fig07/fig08
+/// binaries): present means pin executor threads according to the detected
+/// machine topology; absent means the system default (which honours
+/// `PS2_PIN`).
+pub fn pin_arg() -> Option<bool> {
+    std::env::args().any(|a| a == "--pin").then_some(true)
 }
 
 #[cfg(test)]

@@ -100,6 +100,22 @@ pub struct SystemConfig {
     /// (`threads` | `coop` | `coop:<threads>` | `sim` | `sim:<seed>`) so an
     /// unmodified test suite can be re-run on another backend.
     pub runtime: RuntimeBackend,
+    /// Pin executor threads to cores, filling the detected machine topology
+    /// NUMA node by NUMA node (best-effort `sched_setaffinity`; see
+    /// `ps2stream_stream::topology`). Off by default; the default honours a
+    /// truthy `PS2_PIN` environment variable (`1`/`true`/`on`) so existing
+    /// binaries can opt in without code changes. Ignored by the
+    /// deterministic simulator, which is single-threaded by construction.
+    pub pinning: bool,
+    /// Shards per NUMA-node shard group of the routing table's `H2` term
+    /// registry. `None` (the default) sizes the groups automatically from
+    /// the detected topology — one group per NUMA node, splitting the flat
+    /// 64-shard budget across nodes. The multi-group layout is only used
+    /// when `pinning` is enabled (unpinned threads all report node 0, so
+    /// node-local groups would be pure overhead); with pinning off, or on a
+    /// single-node machine, the layout is the flat sharding and this knob
+    /// overrides the flat shard count.
+    pub numa_shards: Option<usize>,
 }
 
 impl Default for SystemConfig {
@@ -115,8 +131,19 @@ impl Default for SystemConfig {
             costs: CostConstants::default(),
             adjustment: None,
             runtime: RuntimeBackend::from_env().unwrap_or_default(),
+            pinning: pinning_from_env(),
+            numa_shards: None,
         }
     }
+}
+
+/// Reads the `PS2_PIN` environment variable: `1`, `true`, `yes` or `on`
+/// (case-insensitive) enable pinning; anything else (or unset) disables it.
+fn pinning_from_env() -> bool {
+    std::env::var("PS2_PIN").is_ok_and(|v| {
+        let v = v.to_ascii_lowercase();
+        matches!(v.as_str(), "1" | "true" | "yes" | "on")
+    })
 }
 
 impl SystemConfig {
@@ -154,6 +181,20 @@ impl SystemConfig {
     /// picked up by `Default`).
     pub fn with_runtime(mut self, runtime: RuntimeBackend) -> Self {
         self.runtime = runtime;
+        self
+    }
+
+    /// Enables or disables core pinning (overriding any `PS2_PIN` value
+    /// picked up by `Default`).
+    pub fn with_pinning(mut self, pinning: bool) -> Self {
+        self.pinning = pinning;
+        self
+    }
+
+    /// Overrides the per-NUMA-node shard count of the `H2` term registry
+    /// (`None` = size from the detected topology).
+    pub fn with_numa_shards(mut self, shards: Option<usize>) -> Self {
+        self.numa_shards = shards;
         self
     }
 }
@@ -197,6 +238,17 @@ mod tests {
         assert_eq!(SelectorKind::Greedy.name(), "GR");
         assert_eq!(SelectorKind::Size.name(), "SI");
         assert_eq!(SelectorKind::Random.name(), "RA");
+    }
+
+    #[test]
+    fn placement_overrides() {
+        let c = SystemConfig::default().with_pinning(true);
+        assert!(c.pinning);
+        let c = c.with_pinning(false);
+        assert!(!c.pinning);
+        assert_eq!(c.numa_shards, None);
+        let c = c.with_numa_shards(Some(16));
+        assert_eq!(c.numa_shards, Some(16));
     }
 
     #[test]

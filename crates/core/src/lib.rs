@@ -88,7 +88,9 @@ pub mod prelude {
         HypergraphPartitioner, KdTreePartitioner, MetricPartitioner, Partitioner, RTreePartitioner,
         RoutingTable, WorkloadSample,
     };
-    pub use ps2stream_stream::{CoopConfig, RuntimeBackend};
+    pub use ps2stream_stream::{
+        CoopConfig, CpuTopology, Placement, PlacementPolicy, RuntimeBackend,
+    };
     pub use ps2stream_text::{BooleanExpr, TermId, Tokenizer, Vocabulary};
     pub use ps2stream_workload::{
         build_sample, CorpusGenerator, DatasetSpec, DriverConfig, QueryClass, QueryGenerator,

@@ -18,7 +18,10 @@ use parking_lot::RwLock;
 use ps2stream_index::{Gi2Config, Gi2Index};
 use ps2stream_model::{MatchResult, StreamRecord};
 use ps2stream_partition::{HybridPartitioner, Partitioner, RoutingTable, WorkloadSample};
-use ps2stream_stream::{Batch, BatchingEmitter, Emitter, Envelope, Runtime, Sender, TaskHandle};
+use ps2stream_stream::{
+    Batch, BatchingEmitter, CpuTopology, Emitter, Envelope, PlacementPolicy, Runtime, Sender,
+    TaskHandle,
+};
 use ps2stream_text::TermStats;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -122,7 +125,7 @@ pub struct RunningSystem {
 impl RunningSystem {
     fn launch(
         config: SystemConfig,
-        routing: RoutingTable,
+        mut routing: RoutingTable,
         seed_stats: Option<TermStats>,
         delivery: Option<Sender<MatchResult>>,
     ) -> Self {
@@ -132,7 +135,22 @@ impl RunningSystem {
             "at least one dispatcher is required"
         );
         assert!(config.num_mergers > 0, "at least one merger is required");
-        let mut runtime = Runtime::new(&config.runtime);
+        // Topology-aware placement: detect the machine layout once, pin
+        // executor threads, and shard the routing table's H2 registry per
+        // NUMA node so dispatchers resolve routing reads through node-local
+        // shard groups. The multi-group layout only pays off when threads
+        // actually record their node, so it is gated on pinning (and the
+        // simulator, which ignores placement, keeps the flat layout): with
+        // pinning off every thread reports node 0 and a multi-group
+        // registry would just push every remote-homed cell through the
+        // promotion path. On a single-node machine everything collapses to
+        // the previous flat behaviour either way.
+        let topology = CpuTopology::detect();
+        let pin = config.pinning && !config.runtime.is_deterministic();
+        let registry_nodes = if pin { topology.num_nodes() } else { 1 };
+        routing.reshard_for_topology(registry_nodes, config.numa_shards);
+        let mut runtime =
+            Runtime::with_placement(&config.runtime, PlacementPolicy { pin, topology });
         let metrics = SystemMetrics::new(config.num_workers);
         let bounds = routing.grid().bounds();
         let routing = Arc::new(RwLock::new(routing));
@@ -343,6 +361,12 @@ mod tests {
         let _ = Ps2StreamBuilder::new(SystemConfig::default()).start();
     }
 
+    /// True when `PS2_RUNTIME` puts the whole suite on the simulator (where
+    /// placement, and therefore the multi-group registry, is disabled).
+    fn system_runtime_is_sim() -> bool {
+        SystemConfig::default().runtime.is_deterministic()
+    }
+
     #[test]
     fn small_end_to_end_run_completes() {
         let sample = build_sample(DatasetSpec::tiny(), QueryClass::Q1, 400, 80, 1);
@@ -370,6 +394,9 @@ mod tests {
         for o in sample.objects() {
             system.send(StreamRecord::Object(o.clone()));
         }
+        // pinning is off: the registry must keep the flat single-group
+        // layout whatever the machine looks like
+        assert_eq!(system.routing().read().term_registry().num_groups(), 1);
         let records = system.records_sent();
         let report = system.finish();
         assert_eq!(report.records_in, records);
@@ -389,5 +416,53 @@ mod tests {
         }
         assert_eq!(report.matches_delivered, expected);
         assert!(report.throughput_tps > 0.0);
+    }
+
+    /// Pinning and an explicit NUMA shard layout are placement changes, not
+    /// semantic ones: the exact match set must be identical.
+    #[test]
+    fn pinned_run_delivers_the_same_matches() {
+        let sample = build_sample(DatasetSpec::tiny(), QueryClass::Q1, 400, 80, 1);
+        let config = SystemConfig {
+            num_dispatchers: 1,
+            num_workers: 3,
+            num_mergers: 1,
+            ..SystemConfig::default()
+        }
+        .with_pinning(true)
+        .with_numa_shards(Some(8));
+        let (delivery_tx, delivery_rx) = unbounded::<MatchResult>();
+        let mut system = Ps2StreamBuilder::new(config)
+            .with_partitioner(Box::new(KdTreePartitioner::default()))
+            .with_calibration_sample(sample.clone())
+            .with_delivery(delivery_tx)
+            .start();
+        for q in sample.insertions() {
+            system.send(StreamRecord::Update(ps2stream_model::QueryUpdate::Insert(
+                q.clone(),
+            )));
+        }
+        for o in sample.objects() {
+            system.send(StreamRecord::Object(o.clone()));
+        }
+        // with pinning on (and a concurrent backend) the registry is sized
+        // from the detected topology — one group per NUMA node
+        if !system_runtime_is_sim() {
+            assert_eq!(
+                system.routing().read().term_registry().num_groups(),
+                ps2stream_stream::CpuTopology::detect().num_nodes()
+            );
+        }
+        let report = system.finish();
+        let mut expected = 0u64;
+        for o in sample.objects() {
+            for q in sample.insertions() {
+                if q.matches(o) {
+                    expected += 1;
+                }
+            }
+        }
+        assert_eq!(report.matches_delivered, expected);
+        assert_eq!(delivery_rx.try_iter().count() as u64, expected);
     }
 }

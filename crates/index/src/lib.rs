@@ -5,6 +5,30 @@
 //! a uniform grid whose cells each hold an inverted index keyed by the
 //! queries' least frequent keywords, with lazy deletion and per-cell load
 //! statistics that feed the dynamic load adjustment algorithms.
+//!
+//! # Example
+//!
+//! ```
+//! use ps2stream_geo::{Point, Rect};
+//! use ps2stream_index::{Gi2Config, Gi2Index};
+//! use ps2stream_model::{ObjectId, QueryId, SpatioTextualObject, StsQuery, SubscriberId};
+//! use ps2stream_text::{BooleanExpr, TermId};
+//!
+//! let mut index = Gi2Index::new(Gi2Config::new(Rect::from_coords(0.0, 0.0, 8.0, 8.0)));
+//! index.insert(StsQuery::new(
+//!     QueryId(1),
+//!     SubscriberId(1),
+//!     BooleanExpr::and_of([TermId(3)]),
+//!     Rect::from_coords(0.0, 0.0, 4.0, 4.0),
+//! ));
+//! let matches = index.match_object(&SpatioTextualObject::new(
+//!     ObjectId(9),
+//!     vec![TermId(3)],
+//!     Point::new(1.0, 1.0),
+//! ));
+//! assert_eq!(matches.len(), 1);
+//! assert_eq!(matches[0].query_id, QueryId(1));
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -6,6 +6,40 @@
 //! Section IV-C) and all six baseline partitioners evaluated in Section VI-B:
 //! frequency-, hypergraph- and metric-based text partitioning, and grid,
 //! kd-tree and R-tree space partitioning.
+//!
+//! # Example
+//!
+//! Routing a query insertion and then an object through a (degenerate
+//! single-worker) gridt table — both under `&self`, the read-mostly hot
+//! path contract:
+//!
+//! ```
+//! use ps2stream_geo::{Point, Rect};
+//! use ps2stream_model::{ObjectId, QueryId, SpatioTextualObject, StsQuery, SubscriberId, WorkerId};
+//! use ps2stream_partition::RoutingTable;
+//! use ps2stream_text::{BooleanExpr, TermId, TermStats};
+//! use std::sync::Arc;
+//!
+//! let table = RoutingTable::single_worker(
+//!     Rect::from_coords(0.0, 0.0, 16.0, 16.0),
+//!     2,
+//!     Arc::new(TermStats::new()),
+//! );
+//! let query = StsQuery::new(
+//!     QueryId(1),
+//!     SubscriberId(1),
+//!     BooleanExpr::and_of([TermId(7)]),
+//!     Rect::from_coords(0.0, 0.0, 4.0, 4.0),
+//! );
+//! assert_eq!(table.route_insert(&query), vec![WorkerId(0)]);
+//!
+//! // the object carries a registered term: routed to the cell's worker
+//! let object = SpatioTextualObject::new(ObjectId(1), vec![TermId(7)], Point::new(1.0, 1.0));
+//! assert_eq!(table.route_object(&object), vec![WorkerId(0)]);
+//! // an object with no registered term is discarded at the dispatcher
+//! let other = SpatioTextualObject::new(ObjectId(2), vec![TermId(8)], Point::new(1.0, 1.0));
+//! assert!(table.route_object(&other).is_empty());
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -6,11 +6,11 @@
 //! the task made progress, is blocked on input, or finished. Two schedulers
 //! drive these tasks:
 //!
-//! * [`PoolRuntime`] — a work queue multiplexed over a fixed pool of OS
+//! * `PoolRuntime` — a work queue multiplexed over a fixed pool of OS
 //!   threads. Channel sends wake the receiving task through the waker hook of
 //!   [`crate::channel`], so thousands of logical operators can share a few
 //!   cores without a thread each (the Tornado-style elastic-executor layout).
-//! * [`SimRuntime`] — a single-threaded, **seeded** scheduler that picks the
+//! * `SimRuntime` — a single-threaded, **seeded** scheduler that picks the
 //!   next task to poll pseudo-randomly from the seed. Every run with the same
 //!   seed replays the exact same interleaving, which makes full end-to-end
 //!   pipeline runs (including mid-flight migrations) reproducible and lets
@@ -24,6 +24,7 @@
 
 use crate::channel::Receiver;
 use crate::operator::{Emitter, Operator};
+use crate::topology::CpuSlot;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, Weak};
@@ -209,11 +210,17 @@ impl PoolShared {
 pub(crate) struct PoolRuntime {
     shared: Arc<PoolShared>,
     threads: Vec<JoinHandle<()>>,
+    /// Whether the scheduler threads were spawned with a core-pin plan.
+    pinned: bool,
 }
 
 impl PoolRuntime {
-    /// Starts a pool of `threads` scheduler threads (at least one).
-    pub(crate) fn new(threads: usize) -> Self {
+    /// Starts a pool whose scheduler threads are placed according to `plan`:
+    /// thread `i` applies `plan[i % plan.len()]` (best-effort core pin plus
+    /// the thread-local [`crate::topology::Placement`] record) before it
+    /// starts polling tasks. `None` keeps the threads floating.
+    pub(crate) fn with_placement(threads: usize, plan: Option<Vec<CpuSlot>>) -> Self {
+        let pinned = plan.as_ref().is_some_and(|p| !p.is_empty());
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolState {
                 tasks: Vec::new(),
@@ -228,13 +235,31 @@ impl PoolRuntime {
         let threads = (0..threads.max(1))
             .map(|i| {
                 let shared = Arc::clone(&shared);
+                let slot = plan
+                    .as_ref()
+                    .filter(|p| !p.is_empty())
+                    .map(|p| p[i % p.len()]);
                 std::thread::Builder::new()
                     .name(format!("coop-pool-{i}"))
-                    .spawn(move || pool_thread(&shared))
+                    .spawn(move || {
+                        if let Some(slot) = slot {
+                            slot.apply();
+                        }
+                        pool_thread(&shared)
+                    })
                     .expect("failed to spawn cooperative pool thread")
             })
             .collect();
-        Self { shared, threads }
+        Self {
+            shared,
+            threads,
+            pinned,
+        }
+    }
+
+    /// Whether the scheduler threads run under a core-pin plan.
+    pub(crate) fn is_pinned(&self) -> bool {
+        self.pinned
     }
 
     /// Registers a task, attaches its wakers to `wake_on` channels, and makes
@@ -484,7 +509,7 @@ mod tests {
         let (in_tx, in_rx) = unbounded::<u64>();
         let (mid_tx, mid_rx) = unbounded::<u64>();
         let (out_tx, out_rx) = unbounded::<u64>();
-        let pool = PoolRuntime::new(2);
+        let pool = PoolRuntime::with_placement(2, None);
         let first = pool.spawn(
             "first".into(),
             Box::new(Forwarder {
@@ -521,7 +546,7 @@ mod tests {
                 panic!("kaboom");
             }
         }
-        let pool = PoolRuntime::new(1);
+        let pool = PoolRuntime::with_placement(1, None);
         let id = pool.spawn("boom".into(), Box::new(Boom), &[]);
         pool.join(&[id]);
     }

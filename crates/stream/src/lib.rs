@@ -9,7 +9,29 @@
 //! for reproducing exact interleavings ([`coop`]). Tuples are wrapped in
 //! timestamped [`Envelope`]s for latency accounting, and [`metrics`]
 //! collects the throughput, mean latency and latency distributions the
-//! figures report.
+//! figures report. The [`topology`] module detects the machine's NUMA
+//! layout and (optionally) pins executor threads so hot state stays
+//! node-local.
+//!
+//! # Example
+//!
+//! Pick a backend the way `PS2_RUNTIME` does and inspect the machine:
+//!
+//! ```
+//! use ps2stream_stream::{CpuTopology, Placement, Runtime, RuntimeBackend};
+//!
+//! let backend = RuntimeBackend::parse("coop:2").expect("valid backend spec");
+//! assert_eq!(backend.name(), "coop");
+//! let runtime = Runtime::new(&backend);
+//! assert!(!runtime.is_deterministic());
+//! runtime.join();
+//!
+//! // topology detection never panics; single-node fallback everywhere
+//! let topology = CpuTopology::detect();
+//! assert!(topology.num_nodes() >= 1 && topology.num_cpus() >= 1);
+//! // an unplaced thread reports node 0 — the single-node behaviour
+//! assert_eq!(Placement::current_node(), 0);
+//! ```
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -21,6 +43,7 @@ pub mod envelope;
 pub mod metrics;
 pub mod operator;
 pub mod runtime;
+pub mod topology;
 
 pub use batch::{Batch, BatchBuffer, BatchingEmitter};
 pub use channel::{bounded, unbounded, Receiver, Sender};
@@ -28,7 +51,8 @@ pub use coop::{PollTask, TaskPoll};
 pub use envelope::Envelope;
 pub use metrics::{LatencyBreakdown, LatencyRecorder, ThroughputMeter};
 pub use operator::{run_operator, Emitter, Operator};
-pub use runtime::{CoopConfig, Runtime, RuntimeBackend, TaskHandle};
+pub use runtime::{CoopConfig, PlacementPolicy, Runtime, RuntimeBackend, TaskHandle};
+pub use topology::{CpuSlot, CpuTopology, NodeCpus, Placement};
 
 #[cfg(test)]
 mod integration {

@@ -22,7 +22,78 @@
 use crate::channel::{self, Receiver, Sender};
 use crate::coop::{OperatorTask, PollTask, PoolRuntime, SimRuntime};
 use crate::operator::{run_operator, Emitter, Operator};
+use crate::topology::{CpuSlot, CpuTopology};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// How a runtime places its executor threads on the machine.
+///
+/// With `pin: false` (the default) nothing changes: threads float and the
+/// scheduler does what it wants. With `pin: true`, the runtime derives a
+/// placement plan from `topology` — pool scheduler threads (cooperative
+/// backend) or per-operator threads (thread backend) are pinned to
+/// consecutive CPUs, filling NUMA node by NUMA node, and each pinned thread
+/// records its node in [`crate::topology::Placement`] so node-local
+/// structures (e.g. the partition crate's socket-sharded term registry)
+/// resolve through local state first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementPolicy {
+    /// Pin executor threads to cores (best-effort `sched_setaffinity`).
+    pub pin: bool,
+    /// The machine layout the plan is derived from.
+    pub topology: CpuTopology,
+}
+
+impl PlacementPolicy {
+    /// No pinning. Uses a trivial single-node topology instead of running
+    /// detection — an unpinned runtime never consults it, and this is the
+    /// path every `Runtime::new` takes.
+    pub fn disabled() -> Self {
+        Self {
+            pin: false,
+            topology: CpuTopology::single_node(1),
+        }
+    }
+
+    /// Pin executor threads according to the detected machine topology.
+    pub fn pinned() -> Self {
+        Self {
+            pin: true,
+            topology: CpuTopology::detect(),
+        }
+    }
+
+    /// Pin executor threads according to an explicit topology (tests,
+    /// synthetic layouts).
+    pub fn pinned_on(topology: CpuTopology) -> Self {
+        Self {
+            pin: true,
+            topology,
+        }
+    }
+}
+
+impl Default for PlacementPolicy {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Shared round-robin placement plan for incrementally spawned threads (the
+/// thread backend's operators).
+#[derive(Debug)]
+struct PlacementPlan {
+    topology: CpuTopology,
+    next: AtomicUsize,
+}
+
+impl PlacementPlan {
+    fn next_slot(&self) -> CpuSlot {
+        self.topology
+            .slot(self.next.fetch_add(1, Ordering::Relaxed))
+    }
+}
 
 /// Configuration of the cooperative executor backend.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -153,27 +224,49 @@ pub struct Runtime {
     inner: Inner,
     /// Messages a cooperative operator task may process per poll.
     poll_budget: usize,
+    /// Round-robin pin plan for incrementally spawned operator threads
+    /// (thread backend with pinning enabled; `None` = floating threads).
+    plan: Option<Arc<PlacementPlan>>,
     /// OS threads: every executor on the thread backend, service threads
     /// (e.g. the adjustment controller) on the pool backend.
     threads: Vec<Option<(String, JoinHandle<()>)>>,
 }
 
 impl Runtime {
-    /// Creates a runtime for the given backend.
+    /// Creates a runtime for the given backend with floating (unpinned)
+    /// threads.
     pub fn new(backend: &RuntimeBackend) -> Self {
+        Self::with_placement(backend, PlacementPolicy::disabled())
+    }
+
+    /// Creates a runtime for the given backend under an explicit
+    /// [`PlacementPolicy`].
+    ///
+    /// With pinning enabled, the cooperative pool spawns one scheduler
+    /// thread per online CPU by default (instead of `available_parallelism`)
+    /// and pins thread `i` to the topology's `i`-th CPU slot; the thread
+    /// backend pins each operator thread to the next slot round-robin as it
+    /// is spawned. The deterministic simulator ignores placement entirely —
+    /// it is single-threaded by construction.
+    pub fn with_placement(backend: &RuntimeBackend, placement: PlacementPolicy) -> Self {
         let inner = match backend {
             RuntimeBackend::Threads => Inner::Threads,
             RuntimeBackend::Coop(config) => match config.seed {
                 Some(seed) => Inner::Sim(SimRuntime::new(seed)),
                 None => {
-                    let pool = if config.pool_threads == 0 {
+                    let pool = if config.pool_threads != 0 {
+                        config.pool_threads
+                    } else if placement.pin {
+                        placement.topology.num_cpus()
+                    } else {
                         std::thread::available_parallelism()
                             .map(|p| p.get())
                             .unwrap_or(4)
-                    } else {
-                        config.pool_threads
                     };
-                    Inner::Pool(PoolRuntime::new(pool))
+                    let plan = placement
+                        .pin
+                        .then(|| (0..pool).map(|i| placement.topology.slot(i)).collect());
+                    Inner::Pool(PoolRuntime::with_placement(pool, plan))
                 }
             },
         };
@@ -181,9 +274,16 @@ impl Runtime {
             RuntimeBackend::Threads => 1,
             RuntimeBackend::Coop(c) => c.poll_budget.max(1),
         };
+        let plan = (placement.pin && matches!(inner, Inner::Threads)).then(|| {
+            Arc::new(PlacementPlan {
+                topology: placement.topology,
+                next: AtomicUsize::new(0),
+            })
+        });
         Self {
             inner,
             poll_budget,
+            plan,
             threads: Vec::new(),
         }
     }
@@ -191,6 +291,11 @@ impl Runtime {
     /// A runtime on the OS-thread backend (the historical default).
     pub fn threads() -> Self {
         Self::new(&RuntimeBackend::Threads)
+    }
+
+    /// True when this runtime pins its executor threads to cores.
+    pub fn is_pinned(&self) -> bool {
+        self.plan.is_some() || matches!(&self.inner, Inner::Pool(pool) if pool.is_pinned())
     }
 
     /// True when this runtime is the deterministic simulator: executors make
@@ -229,9 +334,13 @@ impl Runtime {
         let poll_budget = self.poll_budget;
         match &mut self.inner {
             Inner::Threads => {
+                let slot = self.plan.as_ref().map(|plan| plan.next_slot());
                 let handle = std::thread::Builder::new()
                     .name(name.clone())
                     .spawn(move || {
+                        if let Some(slot) = slot {
+                            slot.apply();
+                        }
                         run_operator(operator, input, emitter);
                     })
                     .expect("failed to spawn executor thread");
@@ -461,6 +570,42 @@ mod tests {
             assert_eq!(run(&RuntimeBackend::Threads), expected);
             assert_eq!(run(&RuntimeBackend::coop()), expected);
             assert_eq!(run(&RuntimeBackend::deterministic(3)), expected);
+        }
+
+        fn run_pinned(backend: &RuntimeBackend) -> Vec<u64> {
+            let mut rt = Runtime::with_placement(backend, PlacementPolicy::pinned());
+            assert!(rt.is_pinned() || backend.is_deterministic());
+            let (in_tx, in_rx) = rt.bounded::<Envelope<u64>>(64);
+            let (out_tx, out_rx) = rt.unbounded::<u64>();
+            let h = rt.spawn_operator(
+                "doubler",
+                Doubler { out: Some(out_tx) },
+                in_rx,
+                Emitter::sink(),
+            );
+            for i in 0..200u64 {
+                in_tx.send(Envelope::now(i, i)).unwrap();
+            }
+            drop(in_tx);
+            rt.join_tasks(&[h]);
+            let mut got: Vec<u64> = out_rx.try_iter().collect();
+            got.sort_unstable();
+            got
+        }
+
+        /// Core pinning is a placement optimization, never a semantic
+        /// change: placed runtimes deliver the same results.
+        #[test]
+        fn pinned_backends_agree_with_floating_ones() {
+            let expected: Vec<u64> = (0..200u64).map(|i| i * 2).collect();
+            assert_eq!(run_pinned(&RuntimeBackend::Threads), expected);
+            assert_eq!(run_pinned(&RuntimeBackend::coop()), expected);
+            // the simulator ignores placement (single-threaded by design)
+            let sim = Runtime::with_placement(
+                &RuntimeBackend::deterministic(3),
+                PlacementPolicy::pinned(),
+            );
+            assert!(!sim.is_pinned());
         }
     }
 }
