@@ -1,10 +1,29 @@
 //! Criterion micro-benchmarks of the GI² worker index: insertion, matching
 //! and deletion throughput, plus the grid-granularity ablation called out in
 //! DESIGN.md (the paper fixes 2⁶×2⁶ empirically).
+//!
+//! The matching group compares the three kernel entry points: the legacy
+//! allocating `match_object`, the scratch-threaded `match_object_into` and
+//! the batched `match_batch` (the worker's steady-state path).
+//!
+//! Set `PS2_BENCH_FAST=1` (the CI smoke mode) to shrink the workloads and
+//! sample counts so the suite finishes in seconds.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ps2stream::prelude::*;
-use ps2stream_index::{Gi2Config, Gi2Index};
+use ps2stream_index::{Gi2Config, Gi2Index, MatchScratch};
+
+fn fast_mode() -> bool {
+    std::env::var("PS2_BENCH_FAST").is_ok_and(|v| v != "0")
+}
+
+fn sized(full: usize) -> usize {
+    if fast_mode() {
+        (full / 10).max(100)
+    } else {
+        full
+    }
+}
 
 fn build_workload(n_queries: usize, n_objects: usize) -> (Vec<StsQuery>, Vec<SpatioTextualObject>) {
     let spec = DatasetSpec::tweets_us();
@@ -20,7 +39,7 @@ fn build_workload(n_queries: usize, n_objects: usize) -> (Vec<StsQuery>, Vec<Spa
 }
 
 fn bench_insert(c: &mut Criterion) {
-    let (queries, _) = build_workload(5_000, 2_000);
+    let (queries, _) = build_workload(sized(5_000), sized(2_000));
     c.bench_function("gi2_insert_5k_queries", |b| {
         b.iter(|| {
             let mut index = Gi2Index::new(Gi2Config::new(DatasetSpec::tweets_us().bounds));
@@ -33,7 +52,7 @@ fn bench_insert(c: &mut Criterion) {
 }
 
 fn bench_match(c: &mut Criterion) {
-    let (queries, objects) = build_workload(10_000, 2_000);
+    let (queries, objects) = build_workload(sized(10_000), sized(2_000));
     let mut group = c.benchmark_group("gi2_match_object");
     for granularity in [4u32, 6, 8] {
         let mut index = Gi2Index::new(
@@ -58,8 +77,61 @@ fn bench_match(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_match_kernel_variants(c: &mut Criterion) {
+    let (queries, objects) = build_workload(sized(10_000), sized(2_000));
+    let mut group = c.benchmark_group("gi2_match_kernel");
+
+    let mut index = Gi2Index::new(Gi2Config::new(DatasetSpec::tweets_us().bounds));
+    for q in &queries {
+        index.insert(q.clone());
+    }
+    group.bench_function("match_object", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let o = &objects[i % objects.len()];
+            i += 1;
+            index.match_object(o).len()
+        })
+    });
+
+    let mut index = Gi2Index::new(Gi2Config::new(DatasetSpec::tweets_us().bounds));
+    for q in &queries {
+        index.insert(q.clone());
+    }
+    let mut scratch = MatchScratch::new();
+    group.bench_function("match_object_into", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let o = &objects[i % objects.len()];
+            i += 1;
+            index.match_object_into(o, &mut scratch).len()
+        })
+    });
+
+    let mut index = Gi2Index::new(Gi2Config::new(DatasetSpec::tweets_us().bounds));
+    for q in &queries {
+        index.insert(q.clone());
+    }
+    let mut scratch = MatchScratch::new();
+    // one iteration = one 64-object batch (criterion reports per-batch time)
+    group.bench_function("match_batch_64", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let start = i % objects.len().saturating_sub(64).max(1);
+            i += 64;
+            let end = (start + 64).min(objects.len());
+            let mut matches = 0usize;
+            index.match_batch(objects[start..end].iter(), &mut scratch, |_, _, r| {
+                matches += r.len()
+            });
+            matches
+        })
+    });
+    group.finish();
+}
+
 fn bench_delete(c: &mut Criterion) {
-    let (queries, objects) = build_workload(5_000, 500);
+    let (queries, objects) = build_workload(sized(5_000), sized(500));
     c.bench_function("gi2_delete_and_lazy_purge", |b| {
         b.iter(|| {
             let mut index = Gi2Index::new(Gi2Config::new(DatasetSpec::tweets_us().bounds));
@@ -82,6 +154,6 @@ fn bench_delete(c: &mut Criterion) {
 criterion_group!(
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_insert, bench_match, bench_delete
+    targets = bench_insert, bench_match, bench_match_kernel_variants, bench_delete
 );
 criterion_main!(benches);

@@ -1,24 +1,44 @@
 //! Figure 7 — throughput of Hybrid vs Metric vs kd-tree partitioning.
 //!
 //! (a) Q1 with µ=5M, (b) Q2 with µ=10M, (c) Q3 with µ=10M; TWEETS-US and
-//! TWEETS-UK; 4 dispatchers, 8 workers.
+//! TWEETS-UK; 4 dispatchers, 8 workers. `--json <path>` additionally writes
+//! every row in machine-readable form (the perf-trajectory artifact).
 
 use ps2stream::prelude::*;
 use ps2stream_bench::{
-    dataset_tag, datasets, fmt_tps, headline_report_batched, headline_strategies, print_table,
-    RunKnobs, Scale,
+    dataset_tag, datasets, fmt_tps, headline_report_batched, headline_strategies, json_arg,
+    print_table, write_json_file, JsonValue, RunKnobs, Scale,
 };
 
-fn run_panel(title: &str, class: QueryClass, scale: Scale, knobs: &RunKnobs) {
+fn run_panel(
+    title: &str,
+    panel: &str,
+    class: QueryClass,
+    scale: Scale,
+    knobs: &RunKnobs,
+    json_rows: &mut Vec<Vec<(&'static str, JsonValue)>>,
+) {
     let mut rows = Vec::new();
     for dataset in datasets() {
         for strategy in headline_strategies() {
             let report = headline_report_batched(dataset.clone(), class, strategy, scale, 8, knobs);
+            let workload = format!("STS-{}-{}", dataset_tag(&dataset), class.name());
             rows.push(vec![
-                format!("STS-{}-{}", dataset_tag(&dataset), class.name()),
+                workload.clone(),
                 strategy.to_string(),
                 fmt_tps(report.throughput_tps),
                 format!("{:.2}", report.balance_factor()),
+            ]);
+            json_rows.push(vec![
+                ("panel", JsonValue::Str(panel.to_string())),
+                ("workload", JsonValue::Str(workload)),
+                ("strategy", JsonValue::Str(strategy.to_string())),
+                ("throughput_tps", JsonValue::Float(report.throughput_tps)),
+                ("balance_factor", JsonValue::Float(report.balance_factor())),
+                (
+                    "matches_delivered",
+                    JsonValue::Int(report.matches_delivered as i64),
+                ),
             ]);
         }
     }
@@ -36,6 +56,7 @@ fn run_panel(title: &str, class: QueryClass, scale: Scale, knobs: &RunKnobs) {
 
 fn main() {
     let knobs = RunKnobs::from_args();
+    let mut json_rows = Vec::new();
     println!("Figure 7: throughput comparison (Metric, kd-tree, Hybrid)");
     println!(
         "(4 dispatchers, 8 workers; PS2_SCALE={}; {})",
@@ -44,21 +65,27 @@ fn main() {
     );
     run_panel(
         "Figure 7(a): #Queries=5M (Q1)",
+        "a",
         QueryClass::Q1,
         Scale::q5m(),
         &knobs,
+        &mut json_rows,
     );
     run_panel(
         "Figure 7(b): #Queries=10M (Q2)",
+        "b",
         QueryClass::Q2,
         Scale::q10m(),
         &knobs,
+        &mut json_rows,
     );
     run_panel(
         "Figure 7(c): #Queries=10M (Q3)",
+        "c",
         QueryClass::Q3,
         Scale::q10m(),
         &knobs,
+        &mut json_rows,
     );
     println!();
     println!(
@@ -66,4 +93,17 @@ fn main() {
          kd-tree baseline, on Q2 it tracks Metric, and on the heterogeneous Q3\n\
          workload it beats both by roughly 30%."
     );
+    if let Some(path) = json_arg() {
+        write_json_file(
+            &path,
+            "fig07_throughput",
+            &[
+                ("scale_factor", JsonValue::Float(Scale::factor())),
+                ("knobs", JsonValue::Str(knobs.describe())),
+            ],
+            &json_rows,
+        )
+        .expect("writing --json output");
+        println!("wrote {path}");
+    }
 }

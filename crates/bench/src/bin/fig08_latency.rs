@@ -2,24 +2,46 @@
 //!
 //! The latency is the average time a tuple spends in the system, measured at
 //! a moderate input rate (the harness drives a fixed stream and reports the
-//! mean and 99th-percentile end-to-end latency).
+//! mean and 99th-percentile end-to-end latency). `--json <path>` additionally
+//! writes every row in machine-readable form (the perf-trajectory artifact).
 
 use ps2stream::prelude::*;
 use ps2stream_bench::{
-    dataset_tag, datasets, fmt_ms, headline_report_batched, headline_strategies, print_table,
-    RunKnobs, Scale,
+    dataset_tag, datasets, fmt_ms, headline_report_batched, headline_strategies, json_arg,
+    print_table, write_json_file, JsonValue, RunKnobs, Scale,
 };
 
-fn run_panel(title: &str, class: QueryClass, scale: Scale, knobs: &RunKnobs) {
+fn run_panel(
+    title: &str,
+    panel: &str,
+    class: QueryClass,
+    scale: Scale,
+    knobs: &RunKnobs,
+    json_rows: &mut Vec<Vec<(&'static str, JsonValue)>>,
+) {
     let mut rows = Vec::new();
     for dataset in datasets() {
         for strategy in headline_strategies() {
             let report = headline_report_batched(dataset.clone(), class, strategy, scale, 8, knobs);
+            let workload = format!("STS-{}-{}", dataset_tag(&dataset), class.name());
             rows.push(vec![
-                format!("STS-{}-{}", dataset_tag(&dataset), class.name()),
+                workload.clone(),
                 strategy.to_string(),
                 fmt_ms(report.mean_latency),
                 fmt_ms(report.p99_latency),
+            ]);
+            json_rows.push(vec![
+                ("panel", JsonValue::Str(panel.to_string())),
+                ("workload", JsonValue::Str(workload)),
+                ("strategy", JsonValue::Str(strategy.to_string())),
+                (
+                    "mean_latency_ms",
+                    JsonValue::Float(report.mean_latency.as_secs_f64() * 1e3),
+                ),
+                (
+                    "p99_latency_ms",
+                    JsonValue::Float(report.p99_latency.as_secs_f64() * 1e3),
+                ),
             ]);
         }
     }
@@ -37,6 +59,7 @@ fn run_panel(title: &str, class: QueryClass, scale: Scale, knobs: &RunKnobs) {
 
 fn main() {
     let knobs = RunKnobs::from_args();
+    let mut json_rows = Vec::new();
     println!("Figure 8: latency comparison (Metric, kd-tree, Hybrid)");
     println!(
         "(4 dispatchers, 8 workers; PS2_SCALE={}; {})",
@@ -45,21 +68,27 @@ fn main() {
     );
     run_panel(
         "Figure 8(a): #Queries=5M (Q1)",
+        "a",
         QueryClass::Q1,
         Scale::q5m(),
         &knobs,
+        &mut json_rows,
     );
     run_panel(
         "Figure 8(b): #Queries=10M (Q2)",
+        "b",
         QueryClass::Q2,
         Scale::q10m(),
         &knobs,
+        &mut json_rows,
     );
     run_panel(
         "Figure 8(c): #Queries=10M (Q3)",
+        "c",
         QueryClass::Q3,
         Scale::q10m(),
         &knobs,
+        &mut json_rows,
     );
     println!();
     println!(
@@ -67,4 +96,17 @@ fn main() {
          on Q2 (large query ranges), and Metric degrades badly on STS-UK-Q1 where\n\
          the query keywords are frequent."
     );
+    if let Some(path) = json_arg() {
+        write_json_file(
+            &path,
+            "fig08_latency",
+            &[
+                ("scale_factor", JsonValue::Float(Scale::factor())),
+                ("knobs", JsonValue::Str(knobs.describe())),
+            ],
+            &json_rows,
+        )
+        .expect("writing --json output");
+        println!("wrote {path}");
+    }
 }

@@ -1,0 +1,142 @@
+//! Matching-kernel microbenchmark — the per-object GI² hot loop in isolation.
+//!
+//! Unlike the criterion benches this binary uses a **fixed seed** and prints
+//! one deterministic workload's sustained matching throughput, so successive
+//! runs on the same machine are directly comparable (the perf trajectory of
+//! the zero-allocation kernel work — see `BENCH_MATCH.json` at the repo
+//! root). `--json <path>` writes the numbers in machine-readable form;
+//! `--smoke` shrinks the workload for CI.
+//!
+//! All three entry points are cross-checked: the total match count must be
+//! identical for `match_object`, `match_object_into` and `match_batch`.
+
+use ps2stream::prelude::*;
+use ps2stream_bench::{json_arg, write_json_file, JsonValue};
+use ps2stream_index::{Gi2Config, Gi2Index, MatchScratch};
+use std::time::Instant;
+
+struct Workload {
+    queries: Vec<StsQuery>,
+    objects: Vec<SpatioTextualObject>,
+}
+
+fn build_workload(n_queries: usize, n_objects: usize) -> Workload {
+    let spec = DatasetSpec::tweets_us();
+    let mut corpus = CorpusGenerator::new(spec, 1);
+    let objects = corpus.generate(n_objects);
+    let mut generator = QueryGenerator::from_corpus(
+        &corpus,
+        &objects,
+        QueryGeneratorConfig::new(QueryClass::Q1),
+        2,
+    );
+    Workload {
+        queries: generator.generate(n_queries),
+        objects,
+    }
+}
+
+fn build_index(workload: &Workload) -> Gi2Index {
+    let mut index = Gi2Index::new(Gi2Config::new(DatasetSpec::tweets_us().bounds));
+    for q in &workload.queries {
+        index.insert(q.clone());
+    }
+    index
+}
+
+/// One measured pass: `rounds` sweeps over the object set, returning
+/// (objects/s, total matches) — the match count doubles as a cross-variant
+/// equivalence check.
+fn measure<F: FnMut(&SpatioTextualObject) -> usize>(
+    objects: &[SpatioTextualObject],
+    rounds: usize,
+    mut f: F,
+) -> (f64, u64) {
+    let mut matches = 0u64;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for o in objects {
+            matches += f(o) as u64;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    ((objects.len() * rounds) as f64 / elapsed, matches)
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_queries, n_objects, rounds) = if smoke {
+        (2_000, 500, 4)
+    } else {
+        (10_000, 2_000, 20)
+    };
+    let workload = build_workload(n_queries, n_objects);
+
+    // Legacy allocating entry point (kept as the compatibility wrapper).
+    let mut index = build_index(&workload);
+    let (object_tps, matches_object) =
+        measure(&workload.objects, rounds, |o| index.match_object(o).len());
+
+    // Scratch-threaded zero-allocation entry point.
+    let mut index = build_index(&workload);
+    let mut scratch = MatchScratch::new();
+    let (into_tps, matches_into) = measure(&workload.objects, rounds, |o| {
+        index.match_object_into(o, &mut scratch).len()
+    });
+
+    // Batched entry point (64-object batches, the worker's steady state).
+    let mut index = build_index(&workload);
+    let mut scratch = MatchScratch::new();
+    let mut batch_matches = 0u64;
+    let start = Instant::now();
+    for _ in 0..rounds {
+        for chunk in workload.objects.chunks(64) {
+            index.match_batch(chunk.iter(), &mut scratch, |_, _, results| {
+                batch_matches += results.len() as u64;
+            });
+        }
+    }
+    let batch_tps = (workload.objects.len() * rounds) as f64 / start.elapsed().as_secs_f64();
+    let rejections = index.signature_rejections();
+
+    assert_eq!(
+        matches_object, matches_into,
+        "match_object and match_object_into disagree"
+    );
+    assert_eq!(
+        matches_object, batch_matches,
+        "match_object and match_batch disagree"
+    );
+
+    println!(
+        "Matching kernel (fixed seed; {n_queries} queries, {n_objects} objects, {rounds} rounds)"
+    );
+    println!("  match_object      {object_tps:>12.0} objects/s");
+    println!("  match_object_into {into_tps:>12.0} objects/s");
+    println!("  match_batch(64)   {batch_tps:>12.0} objects/s");
+    println!("  matches per sweep {}", matches_object / rounds as u64);
+    println!("  signature rejections (batch run) {rejections}");
+
+    if let Some(path) = json_arg() {
+        write_json_file(
+            &path,
+            "match_kernel",
+            &[
+                ("queries", JsonValue::Int(n_queries as i64)),
+                ("objects", JsonValue::Int(n_objects as i64)),
+                ("rounds", JsonValue::Int(rounds as i64)),
+                ("match_object_tps", JsonValue::Float(object_tps)),
+                ("match_object_into_tps", JsonValue::Float(into_tps)),
+                ("match_batch_tps", JsonValue::Float(batch_tps)),
+                (
+                    "matches_per_sweep",
+                    JsonValue::Int((matches_object / rounds as u64) as i64),
+                ),
+                ("signature_rejections", JsonValue::Int(rejections as i64)),
+            ],
+            &[],
+        )
+        .expect("writing --json output");
+        println!("  wrote {path}");
+    }
+}

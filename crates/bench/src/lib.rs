@@ -460,6 +460,110 @@ pub fn pin_arg() -> Option<bool> {
     std::env::args().any(|a| a == "--pin").then_some(true)
 }
 
+/// Parses a `--json <path>` argument: the experiment binaries write their
+/// result tables to `path` in machine-readable form (the perf-trajectory
+/// artifact consumed by CI). Returns `None` when absent.
+pub fn json_arg() -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, arg) in args.iter().enumerate() {
+        if let Some(value) = arg.strip_prefix("--json=") {
+            return Some(value.to_string());
+        }
+        if arg == "--json" {
+            return Some(args.get(i + 1).expect("--json expects a path").clone());
+        }
+    }
+    None
+}
+
+/// A JSON scalar for the hand-rolled report writer (the workspace
+/// deliberately has no serde_json dependency; the report structure is flat
+/// enough to render directly).
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// A string value (escaped on render).
+    Str(String),
+    /// A floating-point value (rendered with 3 decimals; non-finite values
+    /// render as `null`).
+    Float(f64),
+    /// An integer value.
+    Int(i64),
+}
+
+impl JsonValue {
+    fn render(&self) -> String {
+        match self {
+            JsonValue::Str(s) => {
+                let mut out = String::with_capacity(s.len() + 2);
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+                out
+            }
+            JsonValue::Float(f) if f.is_finite() => format!("{f:.3}"),
+            JsonValue::Float(_) => "null".to_string(),
+            JsonValue::Int(i) => i.to_string(),
+        }
+    }
+}
+
+fn render_object(fields: &[(&str, JsonValue)]) -> String {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| {
+            format!(
+                "{}: {}",
+                JsonValue::Str((*k).to_string()).render(),
+                v.render()
+            )
+        })
+        .collect();
+    format!("{{{}}}", body.join(", "))
+}
+
+/// Writes a machine-readable result report: a JSON object with `name`, the
+/// given scalar fields, and a `rows` array of objects (one per result-table
+/// row).
+pub fn write_json_file(
+    path: &str,
+    name: &str,
+    scalars: &[(&str, JsonValue)],
+    rows: &[Vec<(&str, JsonValue)>],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"name\": {},\n",
+        JsonValue::Str(name.to_string()).render()
+    ));
+    for (k, v) in scalars {
+        out.push_str(&format!(
+            "  {}: {},\n",
+            JsonValue::Str((*k).to_string()).render(),
+            v.render()
+        ));
+    }
+    out.push_str("  \"rows\": [\n");
+    let rendered: Vec<String> = rows
+        .iter()
+        .map(|r| format!("    {}", render_object(r)))
+        .collect();
+    out.push_str(&rendered.join(",\n"));
+    if !rows.is_empty() {
+        out.push('\n');
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,6 +609,43 @@ mod tests {
         .run();
         assert!(report.records_in > 0);
         assert!(report.throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn json_report_renders_and_escapes() {
+        let path = std::env::temp_dir().join("ps2stream_json_report_test.json");
+        let path_str = path.to_str().unwrap();
+        write_json_file(
+            path_str,
+            "demo",
+            &[("scale", JsonValue::Float(1.5)), ("n", JsonValue::Int(3))],
+            &[
+                vec![
+                    ("workload", JsonValue::Str("STS-\"US\"-Q1".into())),
+                    ("tps", JsonValue::Float(1234.5678)),
+                ],
+                vec![("workload", JsonValue::Str("STS-UK-Q1".into()))],
+            ],
+        )
+        .unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("\"name\": \"demo\""));
+        assert!(written.contains("\"scale\": 1.500"));
+        assert!(written.contains("\\\"US\\\""));
+        assert!(written.contains("\"tps\": 1234.568"));
+        let _ = std::fs::remove_file(&path);
+        // non-finite floats render as null, empty rows render as []
+        write_json_file(
+            path_str,
+            "x",
+            &[("bad", JsonValue::Float(f64::INFINITY))],
+            &[],
+        )
+        .unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("\"bad\": null"));
+        assert!(written.contains("\"rows\": [\n  ]"));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

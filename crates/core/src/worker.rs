@@ -27,7 +27,7 @@ use crate::messages::{MergerMessage, WorkerMessage, WorkerStatsReport};
 use crate::metrics::SystemMetrics;
 use ps2stream_balance::{CellLoadInfo, TermLoad};
 use ps2stream_geo::CellId;
-use ps2stream_index::Gi2Index;
+use ps2stream_index::{Gi2Index, MatchScratch};
 use ps2stream_model::{MatchResult, QueryUpdate, StreamRecord, WorkerId};
 use ps2stream_partition::WorkerLoad;
 use ps2stream_stream::{Batch, BatchBuffer, Emitter, Envelope, Operator, Receiver, Sender};
@@ -51,6 +51,20 @@ pub struct Worker {
     /// Per-merger buffers of per-object match sets; flushed at the end of
     /// every input record batch (never held across messages).
     match_buffer: BatchBuffer<Vec<MatchResult>>,
+    /// Per-merger count of match *results* (not objects) currently buffered;
+    /// a buffer is flushed early once it holds `result_budget` results so a
+    /// hot object storm cannot inflate a single merger message unboundedly.
+    result_counts: Vec<usize>,
+    /// Maximum match results per merger message (merger message sizing).
+    result_budget: usize,
+    /// Reusable matching scratch threaded through the GI² kernel
+    /// (epoch-stamped dedup, recycled result/purge buffers).
+    scratch: MatchScratch,
+    /// Run of consecutive object records of the current input batch, matched
+    /// together through [`Gi2Index::match_batch`] (recycled).
+    object_run: Vec<Envelope<StreamRecord>>,
+    /// `(position in run, matches)` pairs of the current run (recycled).
+    run_results: Vec<(usize, Vec<MatchResult>)>,
     /// Cells with an in-flight hand-off *towards* this worker: the number of
     /// `MigrateIn` messages still owed per cell.
     pending_cells: HashMap<CellId, u32>,
@@ -75,6 +89,7 @@ impl Worker {
         batch_size: usize,
     ) -> Self {
         let match_buffer = BatchBuffer::new(mergers.len(), batch_size);
+        let result_counts = vec![0; mergers.len()];
         Self {
             id,
             index,
@@ -83,6 +98,11 @@ impl Worker {
             metrics,
             period_load: WorkerLoad::default(),
             match_buffer,
+            result_counts,
+            result_budget: (batch_size * 4).max(64),
+            scratch: MatchScratch::new(),
+            object_run: Vec::new(),
+            run_results: Vec::new(),
             pending_cells: HashMap::new(),
             parked: HashMap::new(),
             shutdown_requested: false,
@@ -95,36 +115,69 @@ impl Worker {
         &self.index
     }
 
-    fn send_matches(&self, merger: usize, batch: Batch<Vec<MatchResult>>) {
+    fn send_matches(&mut self, merger: usize, batch: Batch<Vec<MatchResult>>) {
+        if let Some(count) = self.result_counts.get_mut(merger) {
+            *count = 0;
+        }
         if let Some(tx) = self.mergers.get(merger) {
             let _ = tx.send(MergerMessage::Matches(batch));
         }
     }
 
+    /// Buffers one object's matches towards its merger, flushing on the
+    /// record threshold **or** once the buffered match-result count reaches
+    /// the per-message budget (merger message sizing: a few hot objects with
+    /// large match sets must not inflate one merger message unboundedly).
+    fn push_matches(&mut self, envelope: &Envelope<StreamRecord>, matches: Vec<MatchResult>) {
+        let StreamRecord::Object(o) = &envelope.payload else {
+            unreachable!("matches are produced for objects only");
+        };
+        let merger = (o.id.value() as usize) % self.mergers.len().max(1);
+        if let Some(count) = self.result_counts.get_mut(merger) {
+            *count += matches.len();
+        }
+        if let Some(full) = self.match_buffer.push(merger, envelope.derive(matches)) {
+            self.send_matches(merger, full);
+        } else if self.result_counts.get(merger).copied().unwrap_or(0) >= self.result_budget {
+            if let Some(full) = self.match_buffer.flush(merger) {
+                self.send_matches(merger, full);
+            }
+        }
+    }
+
+    /// Whether an object must be parked because its cell's hand-off is still
+    /// pending.
+    fn parking_cell(&self, record: &StreamRecord) -> Option<CellId> {
+        if self.pending_cells.is_empty() {
+            return None;
+        }
+        let StreamRecord::Object(o) = record else {
+            return None;
+        };
+        self.index
+            .grid()
+            .cell_of(&o.location)
+            .filter(|cell| self.pending_cells.contains_key(cell))
+    }
+
     /// Processes one routed record. Objects whose cell has a pending
     /// hand-off are parked until the migrated queries arrive.
     fn process_record(&mut self, envelope: Envelope<StreamRecord>) {
+        if let Some(cell) = self.parking_cell(&envelope.payload) {
+            self.parked.entry(cell).or_default().push(envelope);
+            return;
+        }
         match &envelope.payload {
             StreamRecord::Object(o) => {
-                if !self.pending_cells.is_empty() {
-                    if let Some(cell) = self.index.grid().cell_of(&o.location) {
-                        if self.pending_cells.contains_key(&cell) {
-                            self.parked.entry(cell).or_default().push(envelope);
-                            return;
-                        }
-                    }
-                }
                 self.period_load.objects += 1;
-                let matches = self.index.match_object(o);
+                let matches = self.index.match_object_into(o, &mut self.scratch);
                 if matches.is_empty() {
                     // tuple finished here
                     self.metrics.latency.record(envelope.latency());
                     self.metrics.throughput.record(1);
                 } else {
-                    let merger = (o.id.value() as usize) % self.mergers.len().max(1);
-                    if let Some(full) = self.match_buffer.push(merger, envelope.derive(matches)) {
-                        self.send_matches(merger, full);
-                    }
+                    let matches = matches.to_vec();
+                    self.push_matches(&envelope, matches);
                 }
             }
             StreamRecord::Update(QueryUpdate::Insert(q)) => {
@@ -149,10 +202,64 @@ impl Worker {
         }
     }
 
+    /// Matches the buffered run of consecutive object records through the
+    /// batched GI² kernel ([`Gi2Index::match_batch`] amortizes term-stats
+    /// observation and tombstone settlement across the run).
+    fn flush_object_run(&mut self) {
+        if self.object_run.is_empty() {
+            return;
+        }
+        self.period_load.objects += self.object_run.len() as u64;
+        let run = std::mem::take(&mut self.object_run);
+        self.run_results.clear();
+        {
+            let run_results = &mut self.run_results;
+            self.index.match_batch(
+                run.iter().map(|e| match &e.payload {
+                    StreamRecord::Object(o) => o,
+                    _ => unreachable!("the object run holds objects only"),
+                }),
+                &mut self.scratch,
+                |i, _, results| {
+                    if !results.is_empty() {
+                        run_results.push((i, results.to_vec()));
+                    }
+                },
+            );
+        }
+        let mut next = 0usize;
+        for (i, envelope) in run.iter().enumerate() {
+            if self.run_results.get(next).is_some_and(|(j, _)| *j == i) {
+                let matches = std::mem::take(&mut self.run_results[next].1);
+                next += 1;
+                self.push_matches(envelope, matches);
+            } else {
+                // tuple finished here
+                self.metrics.latency.record(envelope.latency());
+                self.metrics.throughput.record(1);
+            }
+        }
+        self.object_run = run;
+        self.object_run.clear();
+    }
+
     fn handle_records(&mut self, records: Batch<StreamRecord>) {
         for envelope in records {
-            self.process_record(envelope);
+            match &envelope.payload {
+                StreamRecord::Object(_) if self.parking_cell(&envelope.payload).is_none() => {
+                    self.object_run.push(envelope);
+                }
+                // updates (and objects that must park) leave the batched
+                // path: the run so far is matched first so a later
+                // insert/delete in the same batch cannot affect earlier
+                // objects
+                _ => {
+                    self.flush_object_run();
+                    self.process_record(envelope);
+                }
+            }
         }
+        self.flush_object_run();
         self.flush_matches();
     }
 
@@ -228,11 +335,11 @@ impl Worker {
             .cell_loads()
             .into_iter()
             .map(|c| {
-                let term_loads: Vec<TermLoad> = self
-                    .index
-                    .cell_term_stats(c.cell)
-                    .into_iter()
-                    .map(|t| TermLoad {
+                // stream the per-term stats straight into the report (no
+                // intermediate CellTermStat collection)
+                let mut term_loads: Vec<TermLoad> = Vec::new();
+                self.index.cell_term_stats_with(c.cell, |t| {
+                    term_loads.push(TermLoad {
                         term: t.term,
                         queries: t.queries,
                         objects: t.object_hits,
@@ -241,8 +348,8 @@ impl Worker {
                         } else {
                             0
                         },
-                    })
-                    .collect();
+                    });
+                });
                 CellLoadInfo {
                     cell: c.cell,
                     objects: c.objects,

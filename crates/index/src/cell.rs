@@ -1,18 +1,25 @@
 //! Per-cell inverted index of the GI² structure.
 //!
-//! GI² divides the space into uniform grid cells and, inside every cell,
+//! GI² divides the space into uniform grid cells and, inside each cell,
 //! organizes the STS queries overlapping the cell in an inverted index keyed
 //! by the queries' least frequent keyword(s) (Section IV-D).
+//!
+//! Posting lists carry dense [`SlotId`]s into the owning index's query slab
+//! (see [`crate::slab`]), so candidate verification during matching is an
+//! array index — no per-candidate hash probe. All purge entry points write
+//! removed slots into a **caller-provided buffer** (recycled via
+//! [`crate::MatchScratch`]) instead of allocating a fresh `Vec` per
+//! traversal.
 
-use ps2stream_model::QueryId;
+use crate::slab::SlotId;
 use ps2stream_text::TermId;
 use std::collections::HashMap;
 
-/// Inverted index of one grid cell: for each posting term, the list of query
-/// ids posted under that term.
+/// Inverted index of one grid cell: for each posting term, the list of slab
+/// slots posted under that term.
 #[derive(Debug, Default, Clone)]
 pub struct CellIndex {
-    postings: HashMap<TermId, Vec<QueryId>>,
+    postings: HashMap<TermId, Vec<SlotId>>,
     /// Number of distinct queries currently posted in this cell
     /// (a query posted under several terms is counted once).
     num_queries: usize,
@@ -47,12 +54,12 @@ impl CellIndex {
 
     /// Posts a query under the given terms. `query_bytes` is the approximate
     /// in-memory size of the query, used for migration cost accounting.
-    pub fn post(&mut self, query: QueryId, terms: &[TermId], query_bytes: usize) {
+    pub fn post(&mut self, slot: SlotId, terms: &[TermId], query_bytes: usize) {
         if terms.is_empty() {
             return;
         }
         for &t in terms {
-            self.postings.entry(t).or_default().push(query);
+            self.postings.entry(t).or_default().push(slot);
         }
         self.num_queries += 1;
         self.query_bytes += query_bytes;
@@ -60,25 +67,54 @@ impl CellIndex {
 
     /// The posting list for a term, if any.
     #[inline]
-    pub fn postings(&self, term: TermId) -> Option<&[QueryId]> {
+    pub fn postings(&self, term: TermId) -> Option<&[SlotId]> {
         self.postings.get(&term).map(Vec::as_slice)
     }
 
-    /// Removes tombstoned entries from the posting list of `term` using the
-    /// supplied predicate (`true` = remove). Returns the removed query ids.
-    /// Used by the lazy-deletion sweep during object matching.
-    pub fn purge_postings<F: Fn(QueryId) -> bool>(
+    /// The mutable posting list of a term — the matching hot loop's entry
+    /// point per object term (the caller compacts the list in place while
+    /// traversing it, then calls [`CellIndex::remove_if_empty`], and records
+    /// the object hit via [`CellIndex::note_object_hit`] only when live
+    /// postings survived the compaction, matching the pre-compaction
+    /// semantics of purge-then-record).
+    #[inline]
+    pub(crate) fn traverse(&mut self, term: TermId) -> Option<&mut Vec<SlotId>> {
+        self.postings.get_mut(&term)
+    }
+
+    /// Records that a recent object of this cell contained `term` (only
+    /// called for terms whose posting list survived the traversal, so a term
+    /// whose postings were all tombstoned accrues no phantom hits).
+    #[inline]
+    pub(crate) fn note_object_hit(&mut self, term: TermId) {
+        *self.object_hits.entry(term).or_insert(0) += 1;
+    }
+
+    /// Drops a term's posting list entry if the in-place compaction of
+    /// [`CellIndex::traverse`] emptied it.
+    #[inline]
+    pub(crate) fn remove_if_empty(&mut self, term: TermId) {
+        if self.postings.get(&term).is_some_and(Vec::is_empty) {
+            self.postings.remove(&term);
+        }
+    }
+
+    /// Removes entries matching `is_deleted` from the posting list of
+    /// `term`, appending the removed slots to `removed` (one entry per
+    /// posting removed). No allocation: the caller provides (and recycles)
+    /// the buffer.
+    pub fn purge_postings_into<F: Fn(SlotId) -> bool>(
         &mut self,
         term: TermId,
         is_deleted: F,
-    ) -> Vec<QueryId> {
+        removed: &mut Vec<SlotId>,
+    ) {
         let Some(list) = self.postings.get_mut(&term) else {
-            return Vec::new();
+            return;
         };
-        let mut removed = Vec::new();
-        list.retain(|q| {
-            if is_deleted(*q) {
-                removed.push(*q);
+        list.retain(|s| {
+            if is_deleted(*s) {
+                removed.push(*s);
                 false
             } else {
                 true
@@ -87,21 +123,36 @@ impl CellIndex {
         if list.is_empty() {
             self.postings.remove(&term);
         }
-        removed
     }
 
-    /// Removes every posting whose query id satisfies `is_deleted`, across
-    /// **all** terms of the cell. Returns one entry per posting removed (an
-    /// id posted under several terms appears once per removal) so callers can
-    /// settle lazy-deletion pending counts exactly. Used when a cell is
-    /// extracted for migration: tombstoned queries must not survive in the
-    /// cell, or a later re-insert of the same id resurrects them.
-    pub fn purge_all_postings<F: Fn(QueryId) -> bool>(&mut self, is_deleted: F) -> Vec<QueryId> {
-        let mut removed = Vec::new();
+    /// Removes every posting of one specific slot under `term` (the eager
+    /// unpost path of insert-replacement and cell extraction; the removal
+    /// count is implied, so no buffer is needed).
+    pub(crate) fn unpost(&mut self, term: TermId, slot: SlotId) {
+        let Some(list) = self.postings.get_mut(&term) else {
+            return;
+        };
+        list.retain(|s| *s != slot);
+        if list.is_empty() {
+            self.postings.remove(&term);
+        }
+    }
+
+    /// Removes every posting whose slot satisfies `is_deleted`, across
+    /// **all** terms of the cell, appending one entry per removed posting to
+    /// `removed` so callers can settle lazy-deletion pending counts exactly.
+    /// Used when a cell is extracted for migration: tombstoned queries must
+    /// not survive in the cell, or a later re-insert of the same id
+    /// resurrects them.
+    pub fn purge_all_postings_into<F: Fn(SlotId) -> bool>(
+        &mut self,
+        is_deleted: F,
+        removed: &mut Vec<SlotId>,
+    ) {
         self.postings.retain(|_, list| {
-            list.retain(|q| {
-                if is_deleted(*q) {
-                    removed.push(*q);
+            list.retain(|s| {
+                if is_deleted(*s) {
+                    removed.push(*s);
                     false
                 } else {
                     true
@@ -109,7 +160,6 @@ impl CellIndex {
             });
             !list.is_empty()
         });
-        removed
     }
 
     /// Account for the physical removal of a query (after all its postings
@@ -125,26 +175,25 @@ impl CellIndex {
         self.objects_seen += 1;
     }
 
-    /// Records that a recent object of this cell contained `term` (only terms
-    /// with a posting list are worth tracking).
-    #[inline]
-    pub fn record_object_term(&mut self, term: TermId) {
-        if self.postings.contains_key(&term) {
-            *self.object_hits.entry(term).or_insert(0) += 1;
+    /// Per-term statistics of the cell (queries posted and recent object hits
+    /// per posting term), streamed to `f` without building an intermediate
+    /// collection.
+    pub fn for_each_term_stat<F: FnMut(CellTermStat)>(&self, mut f: F) {
+        for (t, slots) in &self.postings {
+            f(CellTermStat {
+                term: *t,
+                queries: slots.len() as u64,
+                object_hits: self.object_hits.get(t).copied().unwrap_or(0),
+            });
         }
     }
 
-    /// Per-term statistics of the cell (queries posted and recent object hits
-    /// per posting term).
+    /// Per-term statistics of the cell as a collection (tests and cold
+    /// paths; hot consumers use [`CellIndex::for_each_term_stat`]).
     pub fn term_stats(&self) -> Vec<CellTermStat> {
-        self.postings
-            .iter()
-            .map(|(t, qs)| CellTermStat {
-                term: *t,
-                queries: qs.len() as u64,
-                object_hits: self.object_hits.get(t).copied().unwrap_or(0),
-            })
-            .collect()
+        let mut out = Vec::with_capacity(self.postings.len());
+        self.for_each_term_stat(|s| out.push(s));
+        out
     }
 
     /// Number of objects recorded since the last reset (`n_o`).
@@ -169,11 +218,21 @@ impl CellIndex {
         self.query_bytes
     }
 
-    /// All distinct query ids posted in this cell (deduplicated).
-    pub fn all_queries(&self) -> Vec<QueryId> {
-        let mut out: Vec<QueryId> = self.postings.values().flatten().copied().collect();
+    /// Appends the distinct slots posted in this cell to `out` (sorted,
+    /// deduplicated; the buffer is caller-provided so the migration paths
+    /// can recycle it instead of flatten-collecting a fresh `Vec`).
+    pub fn distinct_queries_into(&self, out: &mut Vec<SlotId>) {
+        for list in self.postings.values() {
+            out.extend_from_slice(list);
+        }
         out.sort_unstable();
         out.dedup();
+    }
+
+    /// All distinct slots posted in this cell (sorted, deduplicated).
+    pub fn all_queries(&self) -> Vec<SlotId> {
+        let mut out = Vec::new();
+        self.distinct_queries_into(&mut out);
         out
     }
 
@@ -182,8 +241,8 @@ impl CellIndex {
         self.postings.is_empty()
     }
 
-    /// Clears the cell, returning the distinct query ids it held.
-    pub fn drain(&mut self) -> Vec<QueryId> {
+    /// Clears the cell, returning the distinct slots it held.
+    pub fn drain(&mut self) -> Vec<SlotId> {
         let out = self.all_queries();
         self.postings.clear();
         self.object_hits.clear();
@@ -200,8 +259,8 @@ impl CellIndex {
                 .values()
                 .map(|v| {
                     std::mem::size_of::<TermId>()
-                        + std::mem::size_of::<Vec<QueryId>>()
-                        + v.len() * std::mem::size_of::<QueryId>()
+                        + std::mem::size_of::<Vec<SlotId>>()
+                        + v.len() * std::mem::size_of::<SlotId>()
                         + 16
                 })
                 .sum::<usize>()
@@ -212,8 +271,8 @@ impl CellIndex {
 mod tests {
     use super::*;
 
-    fn q(i: u64) -> QueryId {
-        QueryId(i)
+    fn s(i: u32) -> SlotId {
+        SlotId(i)
     }
     fn t(i: u32) -> TermId {
         TermId(i)
@@ -222,10 +281,10 @@ mod tests {
     #[test]
     fn post_and_lookup() {
         let mut c = CellIndex::new();
-        c.post(q(1), &[t(5)], 100);
-        c.post(q(2), &[t(5), t(7)], 200);
-        assert_eq!(c.postings(t(5)).unwrap(), &[q(1), q(2)]);
-        assert_eq!(c.postings(t(7)).unwrap(), &[q(2)]);
+        c.post(s(1), &[t(5)], 100);
+        c.post(s(2), &[t(5), t(7)], 200);
+        assert_eq!(c.postings(t(5)).unwrap(), &[s(1), s(2)]);
+        assert_eq!(c.postings(t(7)).unwrap(), &[s(2)]);
         assert!(c.postings(t(9)).is_none());
         assert_eq!(c.num_queries(), 2);
         assert_eq!(c.query_bytes(), 300);
@@ -234,24 +293,63 @@ mod tests {
     #[test]
     fn post_with_no_terms_is_a_noop() {
         let mut c = CellIndex::new();
-        c.post(q(1), &[], 100);
+        c.post(s(1), &[], 100);
         assert!(c.is_empty());
         assert_eq!(c.num_queries(), 0);
     }
 
     #[test]
-    fn purge_removes_deleted_queries() {
+    fn purge_into_reuses_the_buffer() {
         let mut c = CellIndex::new();
-        c.post(q(1), &[t(1)], 10);
-        c.post(q(2), &[t(1)], 10);
-        c.post(q(3), &[t(1)], 10);
-        let removed = c.purge_postings(t(1), |id| id == q(2));
-        assert_eq!(removed, vec![q(2)]);
-        assert_eq!(c.postings(t(1)).unwrap(), &[q(1), q(3)]);
-        // purging everything drops the term entry
-        let removed = c.purge_postings(t(1), |_| true);
-        assert_eq!(removed, vec![q(1), q(3)]);
+        c.post(s(1), &[t(1)], 10);
+        c.post(s(2), &[t(1)], 10);
+        c.post(s(3), &[t(1)], 10);
+        let mut removed = Vec::new();
+        c.purge_postings_into(t(1), |id| id == s(2), &mut removed);
+        assert_eq!(removed, vec![s(2)]);
+        assert_eq!(c.postings(t(1)).unwrap(), &[s(1), s(3)]);
+        // purging everything drops the term entry; the buffer appends
+        c.purge_postings_into(t(1), |_| true, &mut removed);
+        assert_eq!(removed, vec![s(2), s(1), s(3)]);
         assert!(c.postings(t(1)).is_none());
+        // purging a missing term is a no-op
+        c.purge_postings_into(t(9), |_| true, &mut removed);
+        assert_eq!(removed.len(), 3);
+    }
+
+    #[test]
+    fn unpost_removes_one_slot() {
+        let mut c = CellIndex::new();
+        c.post(s(1), &[t(1), t(2)], 10);
+        c.post(s(2), &[t(1)], 10);
+        c.unpost(t(1), s(1));
+        assert_eq!(c.postings(t(1)).unwrap(), &[s(2)]);
+        c.unpost(t(2), s(1));
+        assert!(c.postings(t(2)).is_none());
+    }
+
+    #[test]
+    fn traverse_allows_compaction_and_hits_are_explicit() {
+        let mut c = CellIndex::new();
+        c.post(s(1), &[t(1)], 10);
+        c.post(s(2), &[t(1)], 10);
+        {
+            let list = c.traverse(t(1)).unwrap();
+            list.retain(|x| *x != s(1));
+        }
+        c.remove_if_empty(t(1));
+        c.note_object_hit(t(1)); // a live posting survived
+        assert_eq!(c.postings(t(1)).unwrap(), &[s(2)]);
+        {
+            let list = c.traverse(t(1)).unwrap();
+            list.clear();
+        }
+        c.remove_if_empty(t(1));
+        // no note_object_hit: the whole list was compacted away
+        assert!(c.postings(t(1)).is_none());
+        let stats = c.term_stats();
+        assert!(stats.is_empty(), "term entry removed with its postings");
+        assert!(c.traverse(t(9)).is_none());
     }
 
     #[test]
@@ -267,19 +365,24 @@ mod tests {
     #[test]
     fn all_queries_dedups_multi_term_postings() {
         let mut c = CellIndex::new();
-        c.post(q(1), &[t(1), t(2)], 10);
-        c.post(q(2), &[t(2)], 10);
-        assert_eq!(c.all_queries(), vec![q(1), q(2)]);
+        c.post(s(1), &[t(1), t(2)], 10);
+        c.post(s(2), &[t(2)], 10);
+        assert_eq!(c.all_queries(), vec![s(1), s(2)]);
+        // the _into variant recycles its buffer
+        let mut buf = vec![s(9)];
+        buf.clear();
+        c.distinct_queries_into(&mut buf);
+        assert_eq!(buf, vec![s(1), s(2)]);
     }
 
     #[test]
     fn drain_empties_the_cell() {
         let mut c = CellIndex::new();
-        c.post(q(1), &[t(1)], 10);
-        c.post(q(2), &[t(3)], 20);
+        c.post(s(1), &[t(1)], 10);
+        c.post(s(2), &[t(3)], 20);
         c.record_object();
         let drained = c.drain();
-        assert_eq!(drained, vec![q(1), q(2)]);
+        assert_eq!(drained, vec![s(1), s(2)]);
         assert!(c.is_empty());
         assert_eq!(c.num_queries(), 0);
         assert_eq!(c.query_bytes(), 0);
@@ -288,8 +391,8 @@ mod tests {
     #[test]
     fn note_removed_adjusts_counters() {
         let mut c = CellIndex::new();
-        c.post(q(1), &[t(1)], 10);
-        c.post(q(2), &[t(1)], 30);
+        c.post(s(1), &[t(1)], 10);
+        c.post(s(2), &[t(1)], 30);
         c.note_removed(10);
         assert_eq!(c.num_queries(), 1);
         assert_eq!(c.query_bytes(), 30);
@@ -303,12 +406,12 @@ mod tests {
     #[test]
     fn term_stats_track_queries_and_object_hits() {
         let mut c = CellIndex::new();
-        c.post(q(1), &[t(1)], 10);
-        c.post(q(2), &[t(1)], 10);
-        c.post(q(3), &[t(2)], 10);
-        c.record_object_term(t(1));
-        c.record_object_term(t(1));
-        c.record_object_term(t(9)); // no posting list -> ignored
+        c.post(s(1), &[t(1)], 10);
+        c.post(s(2), &[t(1)], 10);
+        c.post(s(3), &[t(2)], 10);
+        c.note_object_hit(t(1));
+        c.note_object_hit(t(1));
+        assert!(c.traverse(t(9)).is_none()); // no posting list -> nothing to hit
         let mut stats = c.term_stats();
         stats.sort_by_key(|s| s.term);
         assert_eq!(stats.len(), 2);
@@ -322,11 +425,24 @@ mod tests {
     }
 
     #[test]
+    fn purge_all_postings_reports_every_removal() {
+        let mut c = CellIndex::new();
+        c.post(s(1), &[t(1), t(2)], 10);
+        c.post(s(2), &[t(1)], 10);
+        let mut removed = Vec::new();
+        c.purge_all_postings_into(|x| x == s(1), &mut removed);
+        removed.sort_unstable();
+        assert_eq!(removed, vec![s(1), s(1)], "one entry per posting removed");
+        assert_eq!(c.postings(t(1)).unwrap(), &[s(2)]);
+        assert!(c.postings(t(2)).is_none());
+    }
+
+    #[test]
     fn memory_usage_grows_with_postings() {
         let mut c = CellIndex::new();
         let base = c.memory_usage();
         for i in 0..50 {
-            c.post(q(i), &[t((i % 5) as u32)], 10);
+            c.post(s(i), &[t(i % 5)], 10);
         }
         assert!(c.memory_usage() > base);
     }

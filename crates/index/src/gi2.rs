@@ -4,15 +4,38 @@
 //! queries in a uniform grid; inside each cell overlapped by a query's
 //! region, the query is appended to the inverted list of its least frequent
 //! keyword (one per conjunction of the DNF, which generalizes the paper's
-//! AND-only / OR rule). Deletions are lazy: deleted query ids are recorded in
-//! a tombstone table and physically removed from posting lists while they are
-//! traversed during object matching.
+//! AND-only / OR rule). Deletions are lazy: deleted query ids become slab
+//! tombstones and their posting entries are physically removed while the
+//! lists are traversed during object matching.
+//!
+//! # The matching kernel
+//!
+//! The per-object hot loop is allocation-free in steady state:
+//!
+//! * queries live in a generational `QuerySlab` (see [`crate::slab`]); posting
+//!   lists carry dense `u32` slot ids, so candidate **verification is an
+//!   array index** (no `HashMap<QueryId, _>` probe per candidate);
+//! * each stored query carries a 64-bit **term signature**
+//!   ([`BooleanExpr::signature`](ps2stream_text::BooleanExpr::signature));
+//!   most non-matching candidates are rejected by one `AND` against the
+//!   object's signature before the full boolean/spatial check runs;
+//! * per-object state (candidate dedup, result and purge buffers) lives in
+//!   a reusable [`MatchScratch`] — dedup is an epoch-stamped visit array,
+//!   cleared by bumping an epoch counter;
+//! * tombstone purging is folded into the candidate traversal itself: dead
+//!   entries are compacted out of the list in the same pass that scans it,
+//!   so there is no separate retain sweep at all (and no sweep cost when
+//!   nothing is tombstoned);
+//! * [`Gi2Index::match_batch`] amortizes `TermStats` observation, the
+//!   lazy-deletion settlement and the work counters across a whole batch of
+//!   objects.
 
 use crate::cell::{CellIndex, CellTermStat};
+use crate::scratch::MatchScratch;
+use crate::slab::{QuerySlab, Slot, SlotId, StoredQuery};
 use ps2stream_geo::{CellId, Rect, UniformGrid};
 use ps2stream_model::{MatchResult, QueryId, SpatioTextualObject, StsQuery};
-use ps2stream_text::{TermId, TermStats};
-use std::collections::{HashMap, HashSet};
+use ps2stream_text::{terms_signature, TermStats};
 
 /// Configuration of a GI² index.
 #[derive(Debug, Clone)]
@@ -40,17 +63,6 @@ impl Gi2Config {
     }
 }
 
-#[derive(Debug, Clone)]
-struct StoredQuery {
-    query: StsQuery,
-    bytes: usize,
-    /// Cells of this index in which the query is posted.
-    cells: Vec<CellId>,
-    /// Terms the query is posted under (least frequent keyword of each
-    /// conjunction at insertion time).
-    posting_terms: Vec<TermId>,
-}
-
 /// Per-cell load statistics exposed for dynamic load adjustment
 /// (Definition 3: `L_g = n_o * n_q`; `S_g` = total query bytes).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -72,32 +84,24 @@ impl CellLoadStat {
     }
 }
 
-/// Lazy-deletion record of one deleted query: how many postings are still to
-/// purge, and where they were posted — so a re-insert of the same id can
-/// purge the leftovers eagerly instead of resurrecting them.
-#[derive(Debug, Clone)]
-struct Tombstone {
-    /// Posting entries not yet purged.
-    pending: usize,
-    /// Cells the deleted generation was posted in.
-    cells: Vec<CellId>,
-    /// Terms the deleted generation was posted under.
-    posting_terms: Vec<TermId>,
-}
-
 /// The Grid-Inverted-Index of one worker.
 #[derive(Debug, Clone)]
 pub struct Gi2Index {
     grid: UniformGrid,
     cells: Vec<CellIndex>,
-    queries: HashMap<QueryId, StoredQuery>,
-    /// Lazy-deletion table: ids whose postings have not all been purged yet.
-    tombstones: HashMap<QueryId, Tombstone>,
+    /// Slab of stored queries (live + tombstoned); posting lists reference
+    /// its slots.
+    slab: QuerySlab,
     /// Term statistics used to pick the least frequent keyword at insertion.
     stats: TermStats,
     /// Counters for the matching work performed (used by the load model).
     matches_checked: u64,
     objects_processed: u64,
+    /// Candidates rejected by the 64-bit signature prefilter alone.
+    signature_rejections: u64,
+    /// Internal scratch backing the allocating [`Gi2Index::match_object`]
+    /// compatibility wrapper (the batched paths thread an external one).
+    scratch: MatchScratch,
 }
 
 impl Gi2Index {
@@ -108,11 +112,12 @@ impl Gi2Index {
         Self {
             grid,
             cells,
-            queries: HashMap::new(),
-            tombstones: HashMap::new(),
+            slab: QuerySlab::new(),
             stats: TermStats::new(),
             matches_checked: 0,
             objects_processed: 0,
+            signature_rejections: 0,
+            scratch: MatchScratch::new(),
         }
     }
 
@@ -129,15 +134,17 @@ impl Gi2Index {
 
     /// Number of live (non-deleted) queries stored in the index.
     pub fn num_queries(&self) -> usize {
-        self.queries.len()
+        self.slab.num_live()
     }
 
     /// Returns true if a query id is currently stored (and not deleted).
     pub fn contains_query(&self, id: QueryId) -> bool {
-        self.queries.contains_key(&id)
+        self.slab.find(id).is_some_and(|s| self.slab.is_live(s))
     }
 
-    /// Total number of candidate query evaluations performed so far.
+    /// Total number of candidate query evaluations performed so far (full
+    /// boolean/spatial checks; signature-rejected candidates are not
+    /// counted — see [`Gi2Index::signature_rejections`]).
     pub fn matches_checked(&self) -> u64 {
         self.matches_checked
     }
@@ -147,29 +154,51 @@ impl Gi2Index {
         self.objects_processed
     }
 
+    /// Candidates rejected by the signature prefilter alone since the last
+    /// counter reset (diagnostics for the prefilter's selectivity).
+    pub fn signature_rejections(&self) -> u64 {
+        self.signature_rejections
+    }
+
+    /// Number of slab slots ever allocated (live + tombstoned + free) —
+    /// exposed for tests and memory diagnostics.
+    pub fn slab_capacity(&self) -> usize {
+        self.slab.capacity()
+    }
+
+    /// The slab slot currently backing a query id, with its reuse
+    /// generation — exposed for tests and diagnostics.
+    pub fn slot_of(&self, id: QueryId) -> Option<(u32, u32)> {
+        self.slab.find(id).map(|s| (s.0, self.slab.generation(s)))
+    }
+
     /// Inserts an STS query (Section IV-D posting rule). Re-inserting an
     /// existing id replaces the previous version.
     pub fn insert(&mut self, query: StsQuery) {
-        if let Some(old) = self.queries.remove(&query.id) {
-            // Replacing a live id: purge the old postings eagerly. Lazy
-            // tombstoning would be undone the moment the id becomes live
-            // again below, orphaning the old generation's postings forever.
-            for &cell in &old.cells {
-                let idx = self.grid.cell_index(cell);
-                for &t in &old.posting_terms {
-                    self.cells[idx].purge_postings(t, |q| q == query.id);
+        if let Some(slot) = self.slab.find(query.id) {
+            if self.slab.is_live(slot) {
+                // Replacing a live id: purge the old postings eagerly. Lazy
+                // tombstoning would be undone the moment the id becomes live
+                // again below, orphaning the old generation's postings
+                // forever.
+                let old = self.slab.free_live(slot);
+                for &cell in &old.cells {
+                    let idx = self.grid.cell_index(cell);
+                    for &t in &old.posting_terms {
+                        self.cells[idx].unpost(t, slot);
+                    }
+                    self.cells[idx].note_removed(old.bytes);
                 }
-                self.cells[idx].note_removed(old.bytes);
-            }
-        }
-        // A previously tombstoned id that is re-inserted must stop being
-        // treated as deleted — and its not-yet-purged postings must go now,
-        // for the same reason as above.
-        if let Some(tombstone) = self.tombstones.remove(&query.id) {
-            for &cell in &tombstone.cells {
-                let idx = self.grid.cell_index(cell);
-                for &t in &tombstone.posting_terms {
-                    self.cells[idx].purge_postings(t, |q| q == query.id);
+            } else {
+                // A previously tombstoned id that is re-inserted must stop
+                // being treated as deleted — and its not-yet-purged postings
+                // must go now, for the same reason as above.
+                let (cells, terms) = self.slab.free_tombstone(slot);
+                for &cell in &cells {
+                    let idx = self.grid.cell_index(cell);
+                    for &t in &terms {
+                        self.cells[idx].unpost(t, slot);
+                    }
                 }
             }
         }
@@ -178,19 +207,27 @@ impl Gi2Index {
             .representative_terms(|t| self.stats.frequency(t));
         let cells = self.grid.cells_overlapping(&query.region);
         let bytes = query.memory_usage();
-        for &cell in &cells {
-            let idx = self.grid.cell_index(cell);
-            self.cells[idx].post(query.id, &posting_terms, bytes);
-        }
-        self.queries.insert(
-            query.id,
+        let sig = query.keywords.signature();
+        let slot = self.slab.insert(
             StoredQuery {
                 query,
                 bytes,
                 cells,
                 posting_terms,
             },
+            sig,
         );
+        let Gi2Index {
+            slab,
+            cells: grid_cells,
+            grid,
+            ..
+        } = self;
+        let sq = slab.get_live(slot).expect("slot was just filled");
+        for &cell in &sq.cells {
+            let idx = grid.cell_index(cell);
+            grid_cells[idx].post(slot, &sq.posting_terms, sq.bytes);
+        }
     }
 
     /// Deletes a query given the full query description (the deletion request
@@ -202,24 +239,24 @@ impl Gi2Index {
 
     /// Deletes a query by id. Returns false if the id was not stored.
     pub fn delete_by_id(&mut self, id: QueryId) -> bool {
-        let Some(stored) = self.queries.remove(&id) else {
+        let Some(slot) = self.slab.find(id) else {
             return false;
         };
-        let mut pending = 0usize;
-        for &cell in &stored.cells {
-            let idx = self.grid.cell_index(cell);
-            self.cells[idx].note_removed(stored.bytes);
-            pending += stored.posting_terms.len();
+        if !self.slab.is_live(slot) {
+            return false; // already deleted, tombstone still settling
         }
-        if pending > 0 {
-            self.tombstones.insert(
-                id,
-                Tombstone {
-                    pending,
-                    cells: stored.cells,
-                    posting_terms: stored.posting_terms,
-                },
-            );
+        let Gi2Index {
+            slab, cells, grid, ..
+        } = self;
+        let sq = slab.get_live(slot).expect("checked live above");
+        let pending = (sq.cells.len() * sq.posting_terms.len()) as u32;
+        for &cell in &sq.cells {
+            cells[grid.cell_index(cell)].note_removed(sq.bytes);
+        }
+        if pending == 0 {
+            let _ = self.slab.free_live(slot);
+        } else {
+            self.slab.tombstone(slot, pending);
         }
         true
     }
@@ -227,63 +264,175 @@ impl Gi2Index {
     /// Matches a spatio-textual object against the indexed queries, returning
     /// one [`MatchResult`] per satisfied query (deduplicated). Posting lists
     /// traversed along the way are purged of tombstoned entries.
+    ///
+    /// Compatibility wrapper over [`Gi2Index::match_object_into`] that
+    /// allocates the returned `Vec`; hot paths should thread a
+    /// [`MatchScratch`] instead.
     pub fn match_object(&mut self, object: &SpatioTextualObject) -> Vec<MatchResult> {
-        self.objects_processed += 1;
-        self.stats.observe(&object.terms);
-        let Some(cell) = self.grid.cell_of(&object.location) else {
-            return Vec::new();
-        };
-        let idx = self.grid.cell_index(cell);
-        let cell_index = &mut self.cells[idx];
-        cell_index.record_object();
-
-        let mut results = Vec::new();
-        let mut seen: HashSet<QueryId> = HashSet::new();
-        let mut purged: Vec<QueryId> = Vec::new();
-        for &term in &object.terms {
-            // Lazy deletion: drop tombstoned entries from the list we are
-            // about to traverse.
-            let removed = cell_index.purge_postings(term, |q| self.tombstones.contains_key(&q));
-            purged.extend(removed);
-            cell_index.record_object_term(term);
-            let Some(list) = cell_index.postings(term) else {
-                continue;
-            };
-            for &qid in list {
-                if !seen.insert(qid) {
-                    continue;
-                }
-                let Some(stored) = self.queries.get(&qid) else {
-                    continue;
-                };
-                self.matches_checked += 1;
-                if stored.query.matches(object) {
-                    results.push(MatchResult::new(qid, stored.query.subscriber, object.id));
-                }
-            }
-        }
-        self.settle_tombstones(purged);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let results = self.match_object_into(object, &mut scratch).to_vec();
+        self.scratch = scratch;
         results
     }
 
-    /// Settles lazy-deletion bookkeeping after postings were physically
-    /// purged: each purged entry decrements its query's pending count, and a
-    /// count reaching zero retires the tombstone.
-    fn settle_tombstones(&mut self, purged: Vec<QueryId>) {
-        for qid in purged {
-            if let Some(tombstone) = self.tombstones.get_mut(&qid) {
-                tombstone.pending = tombstone.pending.saturating_sub(1);
-                if tombstone.pending == 0 {
-                    self.tombstones.remove(&qid);
+    /// Matches one object using caller-provided scratch state; the returned
+    /// slice lives in the scratch and is valid until its next use. Steady
+    /// state performs **no allocation**.
+    pub fn match_object_into<'s>(
+        &mut self,
+        object: &SpatioTextualObject,
+        scratch: &'s mut MatchScratch,
+    ) -> &'s [MatchResult] {
+        self.objects_processed += 1;
+        self.stats.observe(&object.terms);
+        scratch.results.clear();
+        scratch.purged.clear();
+        if let Some(cell) = self.grid.cell_of(&object.location) {
+            let idx = self.grid.cell_index(cell);
+            self.cells[idx].record_object();
+            let osig = terms_signature(&object.terms);
+            Self::match_in_cell(
+                &mut self.cells,
+                &self.slab,
+                idx,
+                object,
+                osig,
+                scratch,
+                &mut self.matches_checked,
+                &mut self.signature_rejections,
+            );
+            Self::settle(&mut self.slab, &mut scratch.purged);
+        }
+        &scratch.results
+    }
+
+    /// Matches a whole batch of objects, calling `sink(position, object,
+    /// results)` once per object in order. Amortized across the batch:
+    /// term-statistics observation (one table-sizing pass), lazy-deletion
+    /// settlement (once at the end — no query mutation can occur mid-batch)
+    /// and the work counters.
+    pub fn match_batch<'a, I, F>(&mut self, objects: I, scratch: &mut MatchScratch, mut sink: F)
+    where
+        I: Iterator<Item = &'a SpatioTextualObject> + Clone,
+        F: FnMut(usize, &'a SpatioTextualObject, &[MatchResult]),
+    {
+        self.stats
+            .observe_batch(objects.clone().map(|o| o.terms.as_slice()));
+        scratch.purged.clear();
+        let mut processed = 0u64;
+        for (i, object) in objects.enumerate() {
+            processed += 1;
+            scratch.results.clear();
+            if let Some(cell) = self.grid.cell_of(&object.location) {
+                let idx = self.grid.cell_index(cell);
+                self.cells[idx].record_object();
+                let osig = terms_signature(&object.terms);
+                Self::match_in_cell(
+                    &mut self.cells,
+                    &self.slab,
+                    idx,
+                    object,
+                    osig,
+                    scratch,
+                    &mut self.matches_checked,
+                    &mut self.signature_rejections,
+                );
+            }
+            sink(i, object, &scratch.results);
+        }
+        self.objects_processed += processed;
+        Self::settle(&mut self.slab, &mut scratch.purged);
+    }
+
+    /// The single-pass candidate loop of one object in one cell: traverses
+    /// the posting lists of the object's terms, compacting tombstoned
+    /// entries out **in the same pass** (no separate retain sweep),
+    /// prefiltering candidates by signature, deduplicating via the scratch
+    /// epoch and running the full check only on survivors.
+    #[allow(clippy::too_many_arguments)]
+    fn match_in_cell(
+        cells: &mut [CellIndex],
+        slab: &QuerySlab,
+        idx: usize,
+        object: &SpatioTextualObject,
+        osig: u64,
+        scratch: &mut MatchScratch,
+        matches_checked: &mut u64,
+        signature_rejections: &mut u64,
+    ) {
+        scratch.begin_object(slab.capacity());
+        let live = slab.live_flags();
+        let sigs = slab.signatures();
+        let slots = slab.slots();
+        let cell_index = &mut cells[idx];
+        for &term in &object.terms {
+            let Some(list) = cell_index.traverse(term) else {
+                continue;
+            };
+            let mut write = 0usize;
+            let mut purged_any = false;
+            for read in 0..list.len() {
+                let s = list[read];
+                let si = s.index();
+                if !live[si] {
+                    // Lazy deletion: the slot is tombstoned (freed slots
+                    // cannot appear in posting lists) — drop the entry and
+                    // queue the settlement.
+                    debug_assert!(matches!(slots[si], Slot::Tombstoned { .. }));
+                    scratch.purged.push(s);
+                    purged_any = true;
+                    continue;
+                }
+                if write != read {
+                    list[write] = s;
+                }
+                write += 1;
+                if sigs[si] & !osig != 0 {
+                    // The object provably misses a required keyword.
+                    *signature_rejections += 1;
+                    continue;
+                }
+                if !scratch.first_visit(s) {
+                    continue;
+                }
+                *matches_checked += 1;
+                let Slot::Live(sq) = &slots[si] else {
+                    unreachable!("live flag set for a non-live slot");
+                };
+                if sq.query.matches(object) {
+                    scratch.results.push(MatchResult::new(
+                        sq.query.id,
+                        sq.query.subscriber,
+                        object.id,
+                    ));
                 }
             }
+            if purged_any {
+                list.truncate(write);
+                cell_index.remove_if_empty(term);
+            }
+            if write > 0 {
+                // live postings survived: the term counts as hit (a term
+                // whose entries were all tombstoned accrues no hits, same as
+                // the pre-slab purge-then-record order)
+                cell_index.note_object_hit(term);
+            }
+        }
+    }
+
+    /// Settles lazy-deletion bookkeeping after postings were physically
+    /// purged: each purged entry decrements its slot's pending count, and a
+    /// count reaching zero frees the slot.
+    fn settle(slab: &mut QuerySlab, purged: &mut Vec<SlotId>) {
+        for s in purged.drain(..) {
+            slab.settle_one(s);
         }
     }
 
     /// Number of query ids awaiting lazy-deletion settlement (exposed for
     /// tests and memory accounting diagnostics).
     pub fn pending_tombstones(&self) -> usize {
-        self.tombstones.len()
+        self.slab.num_tombstoned()
     }
 
     /// Per-cell load statistics for every non-empty cell, used by the dynamic
@@ -313,6 +462,13 @@ impl Gi2Index {
         self.cells[self.grid.cell_index(cell)].term_stats()
     }
 
+    /// Streams one cell's per-term statistics to `f` without building an
+    /// intermediate collection (the controller-path variant of
+    /// [`Gi2Index::cell_term_stats`]).
+    pub fn cell_term_stats_with<F: FnMut(CellTermStat)>(&self, cell: CellId, f: F) {
+        self.cells[self.grid.cell_index(cell)].for_each_term_stat(f);
+    }
+
     /// Resets the per-cell object counters (start of a new load period).
     pub fn reset_load_counters(&mut self) {
         for c in &mut self.cells {
@@ -320,14 +476,15 @@ impl Gi2Index {
         }
         self.matches_checked = 0;
         self.objects_processed = 0;
+        self.signature_rejections = 0;
     }
 
     /// Extracts every live query posted in `cell` that satisfies `filter`,
     /// removing those postings from the cell. Queries that are still posted
     /// in other cells of this index remain stored; queries whose last cell
     /// was extracted are removed entirely. Returns clones of the extracted
-    /// queries — this is the unit of migration of the dynamic load
-    /// adjustment (queries are migrated cell by cell).
+    /// queries in id order — this is the unit of migration of the dynamic
+    /// load adjustment (queries are migrated cell by cell).
     pub fn extract_cell_where<F: Fn(&StsQuery) -> bool>(
         &mut self,
         cell: CellId,
@@ -337,39 +494,52 @@ impl Gi2Index {
         // Tombstoned queries must not merely be *skipped*: their postings
         // would stay behind in the extracted cell with their pending counts
         // unsettled (the cell may never receive another object once it is
-        // migrated away, so the lazy sweep of `match_object` never runs), and
-        // a later `insert` of the same query id removes the tombstone and
+        // migrated away, so the lazy sweep of matching never runs), and a
+        // later `insert` of the same query id removes the tombstone and
         // resurrects the stale postings. Physically purge them now and settle
-        // the pending counts, exactly like the matching sweep would.
-        let cell_index = &mut self.cells[idx];
-        let purged = cell_index.purge_all_postings(|q| self.tombstones.contains_key(&q));
-        self.settle_tombstones(purged);
-        let ids = self.cells[idx].all_queries();
+        // the pending counts, exactly like the matching sweep would. When
+        // nothing is tombstoned anywhere, the whole pass is skipped.
+        if self.slab.num_tombstoned() > 0 {
+            let mut purged = std::mem::take(&mut self.scratch.purged);
+            purged.clear();
+            {
+                let Gi2Index { slab, cells, .. } = &mut *self;
+                cells[idx].purge_all_postings_into(|s| !slab.is_live(s), &mut purged);
+            }
+            Self::settle(&mut self.slab, &mut purged);
+            self.scratch.purged = purged;
+        }
+        let mut slots = std::mem::take(&mut self.scratch.slots);
+        slots.clear();
+        self.cells[idx].distinct_queries_into(&mut slots);
         let mut extracted = Vec::new();
-        for qid in ids {
-            let Some(stored) = self.queries.get(&qid) else {
+        for &slot in &slots {
+            let Some(sq) = self.slab.get_live(slot) else {
                 continue;
             };
-            if !filter(&stored.query) {
+            if !filter(&sq.query) {
                 continue;
             }
-            extracted.push(stored.query.clone());
+            extracted.push(sq.query.clone());
             // Remove this cell's postings for the query.
-            let terms = stored.posting_terms.clone();
-            let bytes = stored.bytes;
-            for t in terms {
-                self.cells[idx].purge_postings(t, |q| q == qid);
+            let bytes = sq.bytes;
+            let terms = sq.posting_terms.clone();
+            for &t in &terms {
+                self.cells[idx].unpost(t, slot);
             }
             self.cells[idx].note_removed(bytes);
-            let stored = self
-                .queries
-                .get_mut(&qid)
+            let sq = self
+                .slab
+                .get_live_mut(slot)
                 .expect("query present: checked above");
-            stored.cells.retain(|c| *c != cell);
-            if stored.cells.is_empty() {
-                self.queries.remove(&qid);
+            sq.cells.retain(|c| *c != cell);
+            if sq.cells.is_empty() {
+                let _ = self.slab.free_live(slot);
             }
         }
+        slots.clear();
+        self.scratch.slots = slots;
+        extracted.sort_by_key(|q| q.id);
         extracted
     }
 
@@ -392,47 +562,30 @@ impl Gi2Index {
         filter: F,
     ) -> Vec<StsQuery> {
         let idx = self.grid.cell_index(cell);
-        self.cells[idx]
-            .all_queries()
+        let mut slots = Vec::new();
+        self.cells[idx].distinct_queries_into(&mut slots);
+        let mut out: Vec<StsQuery> = slots
             .into_iter()
-            .filter_map(|qid| {
-                let stored = self.queries.get(&qid)?;
-                filter(&stored.query).then(|| stored.query.clone())
+            .filter_map(|slot| {
+                let sq = self.slab.get_live(slot)?;
+                filter(&sq.query).then(|| sq.query.clone())
             })
-            .collect()
+            .collect();
+        out.sort_by_key(|q| q.id);
+        out
     }
 
     /// Approximate memory footprint of the index in bytes (posting lists,
-    /// stored queries, tombstones and term statistics).
+    /// the query slab, tombstones and term statistics).
     pub fn memory_usage(&self) -> usize {
         let cells: usize = self.cells.iter().map(CellIndex::memory_usage).sum();
-        let queries: usize = self
-            .queries
-            .values()
-            .map(|s| {
-                s.bytes
-                    + s.cells.len() * std::mem::size_of::<CellId>()
-                    + s.posting_terms.len() * std::mem::size_of::<TermId>()
-                    + 32
-            })
-            .sum();
-        let tombstones: usize = self
-            .tombstones
-            .values()
-            .map(|t| {
-                std::mem::size_of::<Tombstone>()
-                    + t.cells.len() * std::mem::size_of::<CellId>()
-                    + t.posting_terms.len() * std::mem::size_of::<TermId>()
-                    + 24
-            })
-            .sum();
-        cells + queries + tombstones + self.stats.memory_usage() + std::mem::size_of::<Self>()
+        cells + self.slab.memory_usage() + self.stats.memory_usage() + std::mem::size_of::<Self>()
     }
 
     /// Iterates over all live queries (used by tests and the global
     /// repartitioning handover).
     pub fn queries(&self) -> impl Iterator<Item = &StsQuery> + '_ {
-        self.queries.values().map(|s| &s.query)
+        self.slab.iter_live().map(|sq| &sq.query)
     }
 }
 
@@ -451,7 +604,7 @@ mod tests {
         StsQuery::new(
             QueryId(id),
             SubscriberId(id),
-            BooleanExpr::and_of(terms.iter().map(|t| TermId(*t))),
+            BooleanExpr::and_of(terms.iter().map(|t| ps2stream_text::TermId(*t))),
             region,
         )
     }
@@ -460,7 +613,7 @@ mod tests {
         StsQuery::new(
             QueryId(id),
             SubscriberId(id),
-            BooleanExpr::or_of(terms.iter().map(|t| TermId(*t))),
+            BooleanExpr::or_of(terms.iter().map(|t| ps2stream_text::TermId(*t))),
             region,
         )
     }
@@ -468,7 +621,7 @@ mod tests {
     fn object(id: u64, terms: &[u32], x: f64, y: f64) -> SpatioTextualObject {
         SpatioTextualObject::new(
             ObjectId(id),
-            terms.iter().map(|t| TermId(*t)).collect(),
+            terms.iter().map(|t| ps2stream_text::TermId(*t)).collect(),
             Point::new(x, y),
         )
     }
@@ -492,6 +645,58 @@ mod tests {
         // outside the region -> no match
         let results = idx.match_object(&object(102, &[1, 2], 50.0, 50.0));
         assert!(results.is_empty());
+    }
+
+    #[test]
+    fn match_object_into_reuses_scratch() {
+        let mut idx = Gi2Index::new(config());
+        idx.insert(query(1, &[1], Rect::from_coords(0.0, 0.0, 10.0, 10.0)));
+        let mut scratch = MatchScratch::new();
+        let r = idx.match_object_into(&object(1, &[1], 5.0, 5.0), &mut scratch);
+        assert_eq!(r.len(), 1);
+        let r = idx.match_object_into(&object(2, &[2], 5.0, 5.0), &mut scratch);
+        assert!(r.is_empty());
+        let r = idx.match_object_into(&object(3, &[1], 5.0, 5.0), &mut scratch);
+        assert_eq!(r.len(), 1);
+        assert_eq!(scratch.results().len(), 1);
+    }
+
+    #[test]
+    fn match_batch_equals_sequential_matching() {
+        let mut a = Gi2Index::new(config());
+        let mut b = Gi2Index::new(config());
+        for i in 0..20u64 {
+            let q = query(
+                i,
+                &[(i % 5) as u32],
+                Rect::from_coords(0.0, 0.0, 30.0, 30.0),
+            );
+            a.insert(q.clone());
+            b.insert(q);
+        }
+        // delete a few so the batch also sweeps tombstones
+        for i in [3u64, 7, 11] {
+            a.delete_by_id(QueryId(i));
+            b.delete_by_id(QueryId(i));
+        }
+        let objects: Vec<SpatioTextualObject> = (0..40u64)
+            .map(|i| object(i, &[(i % 6) as u32], (i % 32) as f64, ((i * 7) % 32) as f64))
+            .collect();
+        let mut scratch = MatchScratch::new();
+        let mut batched: Vec<Vec<QueryId>> = Vec::new();
+        b.match_batch(objects.iter(), &mut scratch, |i, _, r| {
+            assert_eq!(i, batched.len());
+            batched.push(r.iter().map(|m| m.query_id).collect());
+        });
+        for (i, o) in objects.iter().enumerate() {
+            let mut expected: Vec<QueryId> = a.match_object(o).iter().map(|m| m.query_id).collect();
+            expected.sort_unstable();
+            let mut got = batched[i].clone();
+            got.sort_unstable();
+            assert_eq!(got, expected, "object {i}");
+        }
+        assert_eq!(a.objects_processed(), b.objects_processed());
+        assert_eq!(a.pending_tombstones(), b.pending_tombstones());
     }
 
     #[test]
@@ -538,10 +743,10 @@ mod tests {
         let q = query(1, &[1], Rect::from_coords(0.0, 0.0, 3.0, 3.0));
         idx.insert(q.clone());
         idx.delete(&q);
-        assert!(!idx.tombstones.is_empty());
+        assert_eq!(idx.pending_tombstones(), 1);
         // traversing the posting list purges the tombstone
         let _ = idx.match_object(&object(1, &[1], 1.0, 1.0));
-        assert!(idx.tombstones.is_empty());
+        assert_eq!(idx.pending_tombstones(), 0);
     }
 
     #[test]
@@ -565,6 +770,77 @@ mod tests {
     }
 
     #[test]
+    fn slot_reuse_after_delete_never_resurrects_the_old_query() {
+        let mut idx = Gi2Index::new(config());
+        // q1 lives in one cell, posted under term 1
+        let q1 = query(1, &[1], Rect::from_coords(0.5, 0.5, 1.5, 1.5));
+        idx.insert(q1.clone());
+        let (slot1, gen1) = idx.slot_of(QueryId(1)).unwrap();
+        idx.delete(&q1);
+        // settle the tombstone by traversing the list, freeing the slot
+        assert!(idx.match_object(&object(1, &[1], 1.0, 1.0)).is_empty());
+        assert_eq!(idx.pending_tombstones(), 0);
+        assert!(idx.slot_of(QueryId(1)).is_none());
+
+        // a different query reuses the freed slot (LIFO free list) with a
+        // bumped generation
+        let q2 = query(2, &[2], Rect::from_coords(40.0, 40.0, 50.0, 50.0));
+        idx.insert(q2);
+        let (slot2, gen2) = idx.slot_of(QueryId(2)).unwrap();
+        assert_eq!(slot2, slot1, "freed slot is reused");
+        assert_eq!(gen2, gen1 + 1, "reuse bumps the generation");
+        assert_eq!(idx.slab_capacity(), 1, "no slab growth on reuse");
+
+        // an object that matched q1 must not match the reused slot's query
+        assert!(idx.match_object(&object(2, &[1], 1.0, 1.0)).is_empty());
+        // and q2 matches where it actually lives
+        assert_eq!(idx.match_object(&object(3, &[2], 45.0, 45.0)).len(), 1);
+    }
+
+    #[test]
+    fn slot_is_not_reused_while_tombstone_postings_linger() {
+        let mut idx = Gi2Index::new(config());
+        let q1 = query(1, &[1], Rect::from_coords(0.5, 0.5, 1.5, 1.5));
+        idx.insert(q1.clone());
+        let (slot1, _) = idx.slot_of(QueryId(1)).unwrap();
+        idx.delete(&q1);
+        // no matching traffic: the tombstone still holds the slot
+        assert_eq!(idx.pending_tombstones(), 1);
+        idx.insert(query(2, &[2], Rect::from_coords(2.5, 2.5, 3.5, 3.5)));
+        let (slot2, _) = idx.slot_of(QueryId(2)).unwrap();
+        assert_ne!(slot2, slot1, "pending tombstone must keep its slot");
+        // settling the tombstone frees the slot for the next insert
+        assert!(idx.match_object(&object(1, &[1], 1.0, 1.0)).is_empty());
+        idx.insert(query(3, &[3], Rect::from_coords(4.5, 4.5, 5.5, 5.5)));
+        let (slot3, _) = idx.slot_of(QueryId(3)).unwrap();
+        assert_eq!(slot3, slot1);
+    }
+
+    #[test]
+    fn signature_prefilter_skips_full_checks() {
+        let mut idx = Gi2Index::new(config());
+        // 32 AND queries sharing keyword 1 (their posting term under empty
+        // stats: frequency ties break towards the lowest id) but each
+        // requiring a distinct second keyword.
+        for i in 0..32u64 {
+            idx.insert(query(
+                i,
+                &[1, 100 + i as u32],
+                Rect::from_coords(0.0, 0.0, 3.0, 3.0),
+            ));
+        }
+        // the object carries term 1 plus one of the pair terms: every query
+        // is a candidate via term 1's posting list, but the signature
+        // prefilter rejects (almost) all of the 31 non-matching ones.
+        let _ = idx.match_object(&object(1, &[1, 100], 1.0, 1.0));
+        assert!(
+            idx.signature_rejections() > 0,
+            "prefilter never fired on disjoint conjunctions"
+        );
+        assert!(idx.matches_checked() < 32);
+    }
+
+    #[test]
     fn cell_loads_reflect_objects_and_queries() {
         let mut idx = Gi2Index::new(config());
         idx.insert(query(1, &[1], Rect::from_coords(0.0, 0.0, 3.0, 3.0)));
@@ -578,6 +854,20 @@ mod tests {
         assert!(loads[0].load() > 0.0);
         idx.reset_load_counters();
         assert_eq!(idx.cell_loads()[0].objects, 0);
+    }
+
+    #[test]
+    fn cell_term_stats_with_streams_the_same_stats() {
+        let mut idx = Gi2Index::new(config());
+        idx.insert(query(1, &[1], Rect::from_coords(0.0, 0.0, 3.0, 3.0)));
+        idx.insert(query(2, &[1], Rect::from_coords(0.0, 0.0, 3.0, 3.0)));
+        let cell = idx.grid().cell_of(&Point::new(1.0, 1.0)).unwrap();
+        let collected = idx.cell_term_stats(cell);
+        let mut streamed = Vec::new();
+        idx.cell_term_stats_with(cell, |s| streamed.push(s));
+        assert_eq!(collected, streamed);
+        assert_eq!(collected.len(), 1);
+        assert_eq!(collected[0].queries, 2);
     }
 
     #[test]
@@ -604,7 +894,9 @@ mod tests {
         idx.insert(query(1, &[1], Rect::from_coords(0.5, 0.5, 1.5, 1.5)));
         idx.insert(query(2, &[2], Rect::from_coords(0.5, 0.5, 1.5, 1.5)));
         let cell = idx.grid().cell_of(&Point::new(1.0, 1.0)).unwrap();
-        let extracted = idx.extract_cell_where(cell, |q| q.keywords.contains_term(TermId(1)));
+        let extracted = idx.extract_cell_where(cell, |q| {
+            q.keywords.contains_term(ps2stream_text::TermId(1))
+        });
         assert_eq!(extracted.len(), 1);
         assert_eq!(extracted[0].id, QueryId(1));
         assert!(idx.contains_query(QueryId(2)));

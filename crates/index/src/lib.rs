@@ -35,9 +35,13 @@
 
 pub mod cell;
 pub mod gi2;
+pub mod scratch;
+pub mod slab;
 
 pub use cell::{CellIndex, CellTermStat};
 pub use gi2::{CellLoadStat, Gi2Config, Gi2Index};
+pub use scratch::MatchScratch;
+pub use slab::SlotId;
 
 #[cfg(test)]
 mod proptests {
@@ -110,6 +114,34 @@ mod proptests {
         )
     }
 
+    /// One step of the randomized operation-sequence workload of
+    /// `gi2_ops_sequence_matches_brute_force`.
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Register (or replace) a query; routed to index A.
+        Insert(GenQuery),
+        /// Drop a query id from both indexes.
+        Delete(u64),
+        /// Match a small batch of objects against both indexes.
+        Match(Vec<GenObject>),
+        /// Migrate one grid cell between the indexes (direction from parity).
+        Migrate(u32, u32),
+        /// Replicate a cell's queries containing a term into the peer index
+        /// (the text-split hand-off; the merger would deduplicate).
+        Replicate(u32, u32, u32),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            3 => (0u64..30).prop_flat_map(arb_query).prop_map(Op::Insert),
+            2 => (0u64..30).prop_map(Op::Delete),
+            3 => proptest::collection::vec((0u64..1_000).prop_flat_map(arb_object), 1..6)
+                .prop_map(Op::Match),
+            1 => (0u32..16, 0u32..16).prop_map(|(c, r)| Op::Migrate(c, r)),
+            1 => (0u32..16, 0u32..16, 0u32..25).prop_map(|(c, r, t)| Op::Replicate(c, r, t)),
+        ]
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -176,6 +208,102 @@ mod proptests {
                 expected.sort_unstable();
                 prop_assert_eq!(got, expected);
             }
+        }
+
+        /// The full kernel (slab slots + signature prefilter + epoch dedup +
+        /// batched matching) must agree exactly with a brute-force scan over
+        /// the live query set, under an arbitrary interleaving of inserts,
+        /// deletes, cell migrations and replications **mid-stream**.
+        #[test]
+        fn gi2_ops_sequence_matches_brute_force(
+            ops in proptest::collection::vec(arb_op(), 1..40),
+        ) {
+            use ps2stream_geo::CellId;
+            use std::collections::BTreeMap;
+            let bounds = Rect::from_coords(0.0, 0.0, 64.0, 64.0);
+            let mut a = Gi2Index::new(Gi2Config::new(bounds).with_granularity_exp(4));
+            let mut b = Gi2Index::new(Gi2Config::new(bounds).with_granularity_exp(4));
+            let mut model: BTreeMap<u64, StsQuery> = BTreeMap::new();
+            let mut scratch = MatchScratch::new();
+            let mut next_object = 0u64;
+            for op in ops {
+                match op {
+                    Op::Insert(gq) => {
+                        let q = build_query(&gq);
+                        // updates are routed as delete + insert, so a replaced
+                        // query cannot linger in the peer index
+                        a.delete_by_id(q.id);
+                        b.delete_by_id(q.id);
+                        model.insert(q.id.0, q.clone());
+                        a.insert(q);
+                    }
+                    Op::Delete(id) => {
+                        a.delete_by_id(QueryId(id));
+                        b.delete_by_id(QueryId(id));
+                        model.remove(&id);
+                    }
+                    Op::Match(gen_objects) => {
+                        let objects: Vec<SpatioTextualObject> = gen_objects
+                            .iter()
+                            .map(|g| {
+                                let mut o = build_object(g);
+                                o.id = ObjectId(next_object);
+                                next_object += 1;
+                                o
+                            })
+                            .collect();
+                        let mut got: Vec<(u64, QueryId)> = Vec::new();
+                        // batched API on A, scratch-threaded singles on B:
+                        // both entry points stay pinned to brute force
+                        a.match_batch(objects.iter(), &mut scratch, |_, o, r| {
+                            got.extend(r.iter().map(|m| (o.id.0, m.query_id)));
+                        });
+                        for o in &objects {
+                            let r = b.match_object_into(o, &mut scratch);
+                            got.extend(r.iter().map(|m| (o.id.0, m.query_id)));
+                        }
+                        got.sort_unstable();
+                        got.dedup(); // replicas match on both sides (merger dedups)
+                        let mut expected: Vec<(u64, QueryId)> = Vec::new();
+                        for o in &objects {
+                            expected.extend(
+                                model
+                                    .values()
+                                    .filter(|q| q.matches(o))
+                                    .map(|q| (o.id.0, q.id)),
+                            );
+                        }
+                        expected.sort_unstable();
+                        prop_assert_eq!(got, expected);
+                    }
+                    Op::Migrate(c, r) => {
+                        let cell = CellId::new(c, r);
+                        if (c + r) % 2 == 0 {
+                            for q in a.extract_cell(cell) {
+                                b.insert(q);
+                            }
+                        } else {
+                            for q in b.extract_cell(cell) {
+                                a.insert(q);
+                            }
+                        }
+                    }
+                    Op::Replicate(c, r, t) => {
+                        let cell = CellId::new(c, r);
+                        for q in
+                            a.replicate_cell_where(cell, |q| q.keywords.contains_term(TermId(t)))
+                        {
+                            b.insert(q);
+                        }
+                    }
+                }
+            }
+            // end state: the union of live queries equals the model
+            let mut live: Vec<u64> = a.queries().chain(b.queries()).map(|q| q.id.0).collect();
+            live.sort_unstable();
+            live.dedup();
+            let expected_ids: Vec<u64> = model.keys().copied().collect();
+            prop_assert_eq!(live, expected_ids);
         }
 
         /// Migrating an arbitrary cell from one index to another never loses

@@ -19,7 +19,7 @@ pub use expr::BooleanExpr;
 pub use similarity::TermDistribution;
 pub use stats::TermStats;
 pub use token::{Tokenizer, STOP_WORDS};
-pub use vocab::{TermId, Vocabulary};
+pub use vocab::{terms_signature, TermId, Vocabulary};
 
 #[cfg(test)]
 mod proptests {
@@ -72,6 +72,18 @@ mod proptests {
             bigger.sort_unstable();
             bigger.dedup();
             prop_assert!(expr.matches_sorted(&bigger));
+        }
+
+        #[test]
+        fn expr_signature_never_rejects_a_match(
+            expr in arb_expr(200),
+            object in arb_terms(200, 24),
+        ) {
+            // The 64-bit prefilter must be a *necessary* condition: whenever
+            // the expression matches the object, the signature test passes.
+            if expr.matches_sorted(&object) {
+                prop_assert_eq!(expr.signature() & !terms_signature(&object), 0);
+            }
         }
 
         #[test]

@@ -42,6 +42,18 @@ impl TermStats {
         }
     }
 
+    /// Records a whole batch of objects' term lists in one call (the batched
+    /// observation entry point of the worker's `match_batch` hot loop — one
+    /// statistics update per input batch instead of one per object).
+    pub fn observe_batch<'a, I>(&mut self, docs: I)
+    where
+        I: Iterator<Item = &'a [TermId]>,
+    {
+        for doc in docs {
+            self.observe(doc);
+        }
+    }
+
     /// Merges another statistics object into this one.
     pub fn merge(&mut self, other: &TermStats) {
         if other.counts.len() > self.counts.len() {
@@ -189,6 +201,25 @@ mod tests {
         assert!((s.relative_frequency(t(0)) - 1.0).abs() < 1e-12);
         assert!((s.relative_frequency(t(1)) - 2.0 / 3.0).abs() < 1e-12);
         assert_eq!(TermStats::new().relative_frequency(t(0)), 0.0);
+    }
+
+    #[test]
+    fn observe_batch_equals_repeated_observe() {
+        let docs: Vec<Vec<TermId>> =
+            vec![vec![t(0), t(1)], vec![], vec![t(0), t(1), t(5)], vec![t(3)]];
+        let mut one_by_one = TermStats::new();
+        for d in &docs {
+            one_by_one.observe(d);
+        }
+        let mut batched = TermStats::new();
+        batched.observe_batch(docs.iter().map(Vec::as_slice));
+        assert_eq!(batched.num_docs(), one_by_one.num_docs());
+        for i in 0..8 {
+            assert_eq!(batched.frequency(t(i)), one_by_one.frequency(t(i)));
+        }
+        // an empty batch is a no-op
+        batched.observe_batch(std::iter::empty());
+        assert_eq!(batched.num_docs(), one_by_one.num_docs());
     }
 
     #[test]

@@ -114,6 +114,36 @@ pub mod strategy {
         }
     }
 
+    /// Weighted choice between boxed strategies of one value type (the
+    /// strategy built by [`crate::prop_oneof!`]).
+    pub struct OneOf<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total_weight: u32,
+    }
+
+    impl<T> OneOf<T> {
+        /// Builds a weighted union; weights must not all be zero.
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total_weight = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total_weight > 0, "prop_oneof! requires a positive weight");
+            Self { arms, total_weight }
+        }
+    }
+
+    impl<T: fmt::Debug> Strategy for OneOf<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut crate::test_runner::TestRng) -> T {
+            let mut pick = rng.rng.gen_range(0..self.total_weight);
+            for (weight, strategy) in &self.arms {
+                if pick < *weight {
+                    return strategy.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weighted pick exceeded the total weight")
+        }
+    }
+
     macro_rules! numeric_range_strategy {
         ($($t:ty),* $(,)?) => {$(
             impl Strategy for Range<$t> {
@@ -429,9 +459,32 @@ pub mod test_runner {
 pub mod prelude {
     //! Glob-import surface mirroring `proptest::prelude`.
 
-    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::strategy::{BoxedStrategy, Just, OneOf, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
-    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Weighted (or unweighted) choice between strategies producing the same
+/// value type. Mirrors proptest's `prop_oneof!`:
+///
+/// ```ignore
+/// prop_oneof![
+///     3 => (0u32..10).prop_map(Op::A),
+///     1 => (0u32..10).prop_map(Op::B),
+/// ]
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strategy:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strategy))),+
+        ])
+    };
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::prop_oneof![$(1 => $strategy),+]
+    };
 }
 
 /// Defines property tests. Mirrors the `proptest!` macro: an optional
