@@ -1,0 +1,132 @@
+//! `ps2lint` — the workspace's static-analysis gate.
+//!
+//! ```text
+//! ps2lint [--root <dir>] [--allow <file>] [--explain] [--list-rules]
+//! ```
+//!
+//! Exits 0 when the tree is clean, 1 on violations, 2 on usage or I/O
+//! errors. Wired as a blocking CI step; see `docs/ANALYSIS.md`.
+
+use ps2stream_analysis::config::Config;
+use ps2stream_analysis::rules::all_rules;
+use ps2stream_analysis::{load_config, run_lint};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut explain = false;
+    let mut list_rules = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = PathBuf::from(dir),
+                None => return usage("--root needs a directory"),
+            },
+            "--allow" => match args.next() {
+                Some(f) => allow_path = Some(PathBuf::from(f)),
+                None => return usage("--allow needs a file"),
+            },
+            "--explain" => explain = true,
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "ps2lint [--root <dir>] [--allow <file>] [--explain] [--list-rules]\n\
+                     Static analysis over the PS2Stream workspace; see docs/ANALYSIS.md."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    if list_rules {
+        for rule in all_rules() {
+            println!("{:<20} {}", rule.name(), rule.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cfg: Config = match allow_path {
+        Some(p) => {
+            let text = match std::fs::read_to_string(&p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("ps2lint: cannot read {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            };
+            match Config::parse(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("ps2lint: {}: {e}", p.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        None => match load_config(&root) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("ps2lint: {e}");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let report = match run_lint(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ps2lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &report.violations {
+        println!("{}", d.render());
+    }
+
+    if explain {
+        println!("-- audited allowlist ({} entries) --", cfg.allows.len());
+        for (idx, a) in cfg.allows.iter().enumerate() {
+            let hits = report.suppressed.iter().filter(|(_, i)| *i == idx).count();
+            println!(
+                "[{}] {} {} — {} ({} suppression{})",
+                a.rule,
+                a.path,
+                a.item,
+                a.why,
+                hits,
+                if hits == 1 { "" } else { "s" }
+            );
+        }
+        for idx in report.stale_allows(&cfg) {
+            let a = &cfg.allows[idx];
+            println!(
+                "warning: stale allow entry (line {}): [{}] {} {} suppressed nothing",
+                a.line, a.rule, a.path, a.item
+            );
+        }
+    }
+
+    println!(
+        "ps2lint: {} file(s), {} violation(s), {} suppressed by the allowlist",
+        report.files_scanned,
+        report.violations.len(),
+        report.suppressed.len()
+    );
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!(
+        "ps2lint: {msg}\nusage: ps2lint [--root <dir>] [--allow <file>] [--explain] [--list-rules]"
+    );
+    ExitCode::from(2)
+}

@@ -1,0 +1,123 @@
+//! Diagnostics and the lint report.
+
+use crate::config::{AllowEntry, Config};
+
+/// One finding: a rule violation at a source location.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule that fired (e.g. `no-alloc-hot`).
+    pub rule: &'static str,
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Item key the allowlist matches on (e.g. `Instant::now`, `unbounded`,
+    /// `Vec::new`, a `PS2_*` variable name).
+    pub item: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders as `path:line: [rule] message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// The outcome of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Violations that survived the allowlist — any entry here fails the run.
+    pub violations: Vec<Diagnostic>,
+    /// Diagnostics suppressed by an allow entry, paired with the index of the
+    /// entry (into [`Config::allows`]) that matched.
+    pub suppressed: Vec<(Diagnostic, usize)>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Splits raw diagnostics into violations and allowlisted suppressions.
+    pub fn from_diagnostics(diags: Vec<Diagnostic>, cfg: &Config) -> Report {
+        let mut report = Report::default();
+        for d in diags {
+            match cfg
+                .allows
+                .iter()
+                .position(|a| a.rule == d.rule && a.path == d.path && matches_item(a, &d))
+            {
+                Some(idx) => report.suppressed.push((d, idx)),
+                None => report.violations.push(d),
+            }
+        }
+        report
+            .violations
+            .sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+        report
+    }
+
+    /// True if the run is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Allow entries (by index) that suppressed nothing this run — candidates
+    /// for deletion, surfaced by `--explain`.
+    pub fn stale_allows(&self, cfg: &Config) -> Vec<usize> {
+        (0..cfg.allows.len())
+            .filter(|i| !self.suppressed.iter().any(|(_, idx)| idx == i))
+            .collect()
+    }
+}
+
+fn matches_item(a: &AllowEntry, d: &Diagnostic) -> bool {
+    a.item == "*" || a.item == d.item
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, path: &str, item: &str) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line: 1,
+            item: item.to_string(),
+            message: "m".to_string(),
+        }
+    }
+
+    #[test]
+    fn allow_entries_suppress_exactly_their_key() {
+        let cfg = Config::parse(
+            "allow r crates/a.rs Instant::now :: why\n\
+             allow r crates/b.rs * :: blanket\n",
+        )
+        .unwrap();
+        let report = Report::from_diagnostics(
+            vec![
+                diag("r", "crates/a.rs", "Instant::now"),     // suppressed
+                diag("r", "crates/a.rs", "thread_rng"),       // different item
+                diag("r", "crates/b.rs", "anything"),         // wildcard
+                diag("other", "crates/a.rs", "Instant::now"), // different rule
+            ],
+            &cfg,
+        );
+        assert_eq!(report.violations.len(), 2);
+        assert_eq!(report.suppressed.len(), 2);
+        assert!(report.stale_allows(&cfg).is_empty());
+    }
+
+    #[test]
+    fn stale_allows_are_reported() {
+        let cfg = Config::parse("allow r crates/unused.rs * :: obsolete\n").unwrap();
+        let report = Report::from_diagnostics(vec![], &cfg);
+        assert!(report.is_clean());
+        assert_eq!(report.stale_allows(&cfg), vec![0]);
+    }
+}

@@ -1,0 +1,425 @@
+//! A hand-rolled Rust lexer.
+//!
+//! `ps2lint` runs in the offline vendored-deps workspace, so it cannot pull
+//! `syn`/`proc-macro2`; instead this module tokenizes Rust source directly.
+//! The lexer is deliberately *lossy* about things no rule cares about
+//! (numeric value, escape decoding) but exact about the things every rule
+//! depends on: string/char/comment boundaries (so a keyword inside a string
+//! literal is never mistaken for code), nested block comments, raw strings,
+//! lifetimes vs char literals, and the line number of every token.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (`fn`, `unsafe`, `Vec`, …).
+    Ident,
+    /// Punctuation. Multi-character only for `::`; everything else is one
+    /// character per token.
+    Punct,
+    /// A string literal (`"…"`, `r#"…"#`, `b"…"`); the token text is the
+    /// *inner* content, without quotes or prefix.
+    Str,
+    /// A character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A lifetime (`'a`, `'static`).
+    Lifetime,
+    /// A `//` comment (doc or plain), text includes the slashes.
+    LineComment,
+    /// A `/* … */` comment (nesting handled), text includes the delimiters.
+    BlockComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokenKind,
+    /// Token text (inner content for [`TokenKind::Str`]).
+    pub text: String,
+    /// 1-based line the token *starts* on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True if this token is a comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into a token stream (comments included).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied();
+        if let Some(c) = c {
+            self.pos += 1;
+            if c == '\n' {
+                self.line += 1;
+            }
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokenKind, text: String, line: u32) {
+        self.out.push(Token { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => {
+                    self.bump();
+                    self.string_body(line);
+                }
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphabetic() => self.ident_or_prefixed(line),
+                ':' if self.peek(1) == Some(':') => {
+                    self.bump();
+                    self.bump();
+                    self.push(TokenKind::Punct, "::".into(), line);
+                }
+                c => {
+                    self.bump();
+                    self.push(TokenKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokenKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, text, line);
+    }
+
+    /// Body of a non-raw string; the opening quote is already consumed.
+    fn string_body(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    // skip the escaped character verbatim
+                    if let Some(e) = self.bump() {
+                        text.push('\\');
+                        text.push(e);
+                    }
+                }
+                '"' => break,
+                c => text.push(c),
+            }
+        }
+        self.push(TokenKind::Str, text, line);
+    }
+
+    /// Raw string starting at the current `r`/`br` prefix (already past it):
+    /// `#…#"` up to the matching `"#…#`. Returns false if this is not a raw
+    /// string after all (e.g. a raw identifier `r#fn`).
+    fn raw_string_body(&mut self, line: u32) -> bool {
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) != Some('"') {
+            return false;
+        }
+        for _ in 0..=hashes {
+            self.bump(); // the #s and the opening quote
+        }
+        let mut text = String::new();
+        'outer: while let Some(c) = self.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if self.peek(i) != Some('#') {
+                        text.push('"');
+                        // not the terminator: the quote is content; the #s
+                        // (if any) will be consumed as content next rounds
+                        continue 'outer;
+                    }
+                }
+                for _ in 0..hashes {
+                    self.bump();
+                }
+                break;
+            }
+            text.push(c);
+        }
+        self.push(TokenKind::Str, text, line);
+        true
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        self.bump(); // the opening quote
+        match self.peek(0) {
+            // escaped char literal: '\n', '\'', '\u{1F600}'
+            Some('\\') => {
+                let mut text = String::from("\\");
+                self.bump();
+                if let Some(e) = self.bump() {
+                    text.push(e);
+                }
+                while let Some(c) = self.bump() {
+                    if c == '\'' {
+                        break;
+                    }
+                    text.push(c);
+                }
+                self.push(TokenKind::Char, text, line);
+            }
+            // 'x' is a char literal; 'x… (no closing quote) is a lifetime
+            Some(c) if self.peek(1) == Some('\'') => {
+                self.bump();
+                self.bump();
+                self.push(TokenKind::Char, c.to_string(), line);
+            }
+            _ => {
+                let mut text = String::new();
+                while let Some(c) = self.peek(0) {
+                    if c == '_' || c.is_alphanumeric() {
+                        text.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Lifetime, text, line);
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else if c == '.'
+                && self.peek(1).is_some_and(|d| d.is_ascii_digit())
+                && !text.contains('.')
+            {
+                // one decimal point, but never eat a `..` range
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Num, text, line);
+    }
+
+    fn ident_or_prefixed(&mut self, line: u32) {
+        // raw/byte string prefixes: r"…", r#"…"#, b"…", br#"…"#, b'…'
+        let c = self.peek(0).unwrap();
+        if c == 'r' || c == 'b' {
+            let after = if c == 'b' && self.peek(1) == Some('r') {
+                2
+            } else {
+                1
+            };
+            let next = self.peek(after);
+            if next == Some('"') || (c != 'b' && next == Some('#')) || next == Some('#') {
+                let save = (self.pos, self.line);
+                for _ in 0..after {
+                    self.bump();
+                }
+                if self.peek(0) == Some('"') {
+                    self.bump();
+                    self.string_body(line);
+                    return;
+                }
+                if self.raw_string_body(line) {
+                    return;
+                }
+                // raw identifier (`r#fn`): rewind the prefix and fall through
+                self.pos = save.0;
+                self.line = save.1;
+            }
+            if c == 'b' && self.peek(1) == Some('\'') {
+                self.bump();
+                self.char_or_lifetime(line);
+                return;
+            }
+        }
+        let mut text = String::new();
+        if self.peek(0) == Some('r') && self.peek(1) == Some('#') {
+            // raw identifier: strip the sigil, keep the name
+            self.bump();
+            self.bump();
+        }
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn keywords_in_strings_are_not_code() {
+        let toks = kinds(r#"let s = "unsafe { Instant::now() }";"#);
+        assert!(toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Ident)
+            .all(|(_, t)| t != "unsafe" && t != "Instant"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("Instant::now")));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds("let x = r#\"quote \" inside\"#; y");
+        let s = toks.iter().find(|(k, _)| *k == TokenKind::Str).unwrap();
+        assert_eq!(s.1, "quote \" inside");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Ident && t == "y"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert!(toks[0].1.contains("inner"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "fn"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokenKind::Lifetime)
+                .count(),
+            2
+        );
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "x"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let q = '\''; let n = '\n'; let u = '\u{1F600}';");
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokenKind::Char).count(),
+            3
+        );
+        // the statement structure survives
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, t)| *k == TokenKind::Punct && t == ";")
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn path_separator_is_one_token() {
+        let toks = kinds("Instant::now()");
+        assert_eq!(toks[1], (TokenKind::Punct, "::".to_string()));
+        assert_eq!(toks[2], (TokenKind::Ident, "now".to_string()));
+    }
+
+    #[test]
+    fn ranges_do_not_eat_numbers() {
+        let toks = kinds("for i in 0..10 { a[i] = 1.5; }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, ["0", "10", "1.5"]);
+    }
+
+    #[test]
+    fn line_numbers_track_every_construct() {
+        let src = "fn a() {}\n\"two\nlines\"\nfn b() {}\n";
+        let toks = lex(src);
+        let b = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident && t.text == "b")
+            .unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'x';"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t == "bytes"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Char && t == "x"));
+    }
+}

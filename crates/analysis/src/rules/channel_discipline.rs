@@ -1,0 +1,119 @@
+//! `channel-discipline`: `unbounded()` channels only in audited backend
+//! modules, never in new operators.
+//!
+//! Backpressure is what keeps the pipeline's memory bounded under the
+//! churn-storm and flash-crowd regimes (Adaptive Processing, PAPERS.md). The
+//! audited exceptions are structural: the channel constructors themselves,
+//! the cooperative/sim backend (whose tasks must never block mid-poll), and
+//! the worker command channels the migration barrier relies on. Anything
+//! else asking for an unbounded queue is a reviewable decision, not a
+//! default.
+
+use super::Rule;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct ChannelDiscipline;
+
+impl Rule for ChannelDiscipline {
+    fn name(&self) -> &'static str {
+        "channel-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "unbounded() channel construction outside allowlisted backend modules"
+    }
+
+    fn check_file(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        let _ = cfg;
+        if file.is_test_path {
+            return;
+        }
+        for i in 0..file.code_len() {
+            if file.is_test_code(i) || !file.is_ident(i, "unbounded") {
+                continue;
+            }
+            // a *call*: `unbounded(` or `unbounded::<T>(`; bare mentions
+            // (imports, re-exports, fn definitions) are not construction
+            let next_is_call = i + 1 < file.code_len()
+                && (file.is_punct(i + 1, "(") || file.is_punct(i + 1, "::"));
+            if !next_is_call {
+                continue;
+            }
+            // skip the definition site itself: `fn unbounded…`
+            if i > 0 && file.is_ident(i - 1, "fn") {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: self.name(),
+                path: file.rel_path.clone(),
+                line: file.line_of(i),
+                item: "unbounded".to_string(),
+                message: "unbounded channel outside the audited backend modules: use a bounded \
+                          channel (backpressure) or add an allow entry with a justification"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let cfg = Config::default();
+        let file = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        ChannelDiscipline.check_file(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn unbounded_calls_in_operator_code_are_flagged() {
+        let diags = run(
+            "crates/core/src/new_operator.rs",
+            r#"
+            fn wire(&self) {
+                let (tx, rx) = unbounded::<Job>();
+                let (tx2, rx2) = channel::unbounded();
+                use_all(tx, rx, tx2, rx2);
+            }
+        "#,
+        );
+        assert_eq!(diags.len(), 2, "{diags:?}");
+    }
+
+    #[test]
+    fn bounded_channels_imports_and_tests_pass() {
+        let diags = run(
+            "crates/core/src/new_operator.rs",
+            r#"
+            use ps2stream_stream::{bounded, unbounded, Receiver};
+            pub fn unbounded_reexport_mention() {}
+            fn wire(&self) {
+                let (tx, rx) = bounded::<Job>(64);
+                use_both(tx, rx);
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let (_tx, _rx) = super::unbounded::<u32>(); }
+            }
+        "#,
+        );
+        assert!(diags.is_empty(), "false positives: {diags:?}");
+    }
+
+    #[test]
+    fn definition_site_is_not_a_call() {
+        let diags = run(
+            "crates/stream/src/channel.rs",
+            "pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) { wrap(inner()) }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

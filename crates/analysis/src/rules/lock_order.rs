@@ -1,0 +1,389 @@
+//! `lock-order`: nested shard-lock acquisitions follow the declared
+//! ascending-group order.
+//!
+//! The NUMA `TermRegistry` (PR 4) is deadlock-free because every operation
+//! holding more than one shard lock at once — `insert`'s mirror step,
+//! `promote`'s snapshot-install — acquires the *same shard index* across
+//! groups in **ascending group order**. That proof lives in a doc comment;
+//! this rule makes the two idioms that implement it machine-checked in the
+//! files declared via `lock-order <path>`:
+//!
+//! 1. **Ordered pair**: a function holding two named shard guards at once
+//!    must derive its group indices from the canonical ordering preamble
+//!    `let (first, second) = if a < b { (a, b) } else { (b, a) };` and
+//!    acquire `[first]` strictly before `[second]`.
+//! 2. **Index-order sweep**: a `Vec`-of-guards collect must iterate
+//!    `groups.iter()` directly — no `rev`/`filter`/`skip`-style adapter may
+//!    reorder or thin the sweep between `iter()` and `map()`.
+//!
+//! The analysis is a scope-tracked heuristic over tokens, not an alias
+//! analysis: a *named* guard (`let g = …shards[…].write();`) is considered
+//! held from its statement to the end of its enclosing block or an explicit
+//! `drop(g)`. Single-guard functions and temporary guards that die at the
+//! end of their statement are not nesting and pass untouched.
+
+use super::Rule;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::source::{FnSpan, SourceFile};
+
+/// Iterator adapters that would break index-order or completeness of a
+/// guard sweep.
+const FORBIDDEN_ADAPTERS: &[&str] = &[
+    "rev",
+    "filter",
+    "skip",
+    "step_by",
+    "take_while",
+    "skip_while",
+    "filter_map",
+    "chain",
+];
+
+/// See module docs.
+pub struct LockOrder;
+
+impl Rule for LockOrder {
+    fn name(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn description(&self) -> &'static str {
+        "nested shard-lock acquisitions must follow the ascending-group order idioms"
+    }
+
+    fn check_file(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        if !cfg.lock_order_files.iter().any(|p| p == &file.rel_path) {
+            return;
+        }
+        for span in file.functions() {
+            check_fn(file, &span, self.name(), out);
+        }
+    }
+}
+
+/// A named guard acquisition: `let [mut] NAME = …shards[…].read()/.write()…;`
+struct GuardSite {
+    name: String,
+    /// Ident used to index `groups[…]` in the acquiring statement, if the
+    /// index is a simple identifier.
+    group_index: Option<String>,
+    /// Brace depth (relative to the function body) the guard is declared at.
+    depth: usize,
+    line: u32,
+}
+
+fn check_fn(file: &SourceFile, span: &FnSpan, rule: &'static str, out: &mut Vec<Diagnostic>) {
+    let ordered_pair = find_ordering_preamble(file, span);
+    // collect statements and walk with a depth counter
+    let mut depth = 0usize;
+    let mut active: Vec<GuardSite> = Vec::new();
+    let mut i = span.body_start;
+    while i <= span.body_end {
+        if file.is_punct(i, "{") {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if file.is_punct(i, "}") {
+            depth = depth.saturating_sub(1);
+            active.retain(|g| g.depth <= depth);
+            i += 1;
+            continue;
+        }
+        // explicit release: drop(NAME)
+        if file.is_ident(i, "drop") && file.is_punct(i + 1, "(") {
+            if let Some(name) = file.ident_at(i + 2) {
+                active.retain(|g| g.name != name);
+            }
+        }
+        // a guard-collecting sweep: …collect() over map-closures yielding
+        // read()/write() guards
+        if let Some(stmt_end) = sweep_statement_at(file, i, span.body_end) {
+            if let Some(d) = check_sweep(file, i, stmt_end, rule) {
+                out.push(d);
+            }
+            i = stmt_end + 1;
+            continue;
+        }
+        // a named guard acquisition
+        if let Some(site) = named_guard_at(file, i, span.body_end, depth) {
+            let stmt_end = statement_end(file, i, span.body_end);
+            if let Some(holder) = active.last() {
+                // nested acquisition while another guard is held
+                let ok = match (&ordered_pair, &holder.group_index, &site.group_index) {
+                    (Some((a, b)), Some(g1), Some(g2)) => g1 == a && g2 == b,
+                    _ => false,
+                };
+                if !ok {
+                    out.push(Diagnostic {
+                        rule,
+                        path: file.rel_path.clone(),
+                        line: site.line,
+                        item: "nested-guards".to_string(),
+                        message: format!(
+                            "`{}` acquires a shard guard at line {} while `{}` (line {}) is still \
+                             held, outside the ordered-pair idiom `let (first, second) = if a < b \
+                             …`; nested shard locks must take ascending group order",
+                            span.name, site.line, holder.name, holder.line
+                        ),
+                    });
+                }
+            }
+            active.push(site);
+            i = stmt_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Finds `let ( A , B ) = if X < Y` and returns `(A, B)`.
+fn find_ordering_preamble(file: &SourceFile, span: &FnSpan) -> Option<(String, String)> {
+    for i in span.body_start..span.body_end.saturating_sub(8) {
+        if file.is_ident(i, "let")
+            && file.is_punct(i + 1, "(")
+            && file.ident_at(i + 2).is_some()
+            && file.is_punct(i + 3, ",")
+            && file.ident_at(i + 4).is_some()
+            && file.is_punct(i + 5, ")")
+            && file.is_punct(i + 6, "=")
+            && file.is_ident(i + 7, "if")
+        {
+            // require a `<` comparison in the if condition
+            let cond_has_lt = (i + 8..(i + 14).min(span.body_end)).any(|j| file.is_punct(j, "<"));
+            if cond_has_lt {
+                return Some((
+                    file.ident_at(i + 2).unwrap().to_string(),
+                    file.ident_at(i + 4).unwrap().to_string(),
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// If code index `i` starts `let [mut] NAME = …` whose statement contains a
+/// `shards`-indexed `.read()`/`.write()` acquisition, returns the site.
+fn named_guard_at(file: &SourceFile, i: usize, body_end: usize, depth: usize) -> Option<GuardSite> {
+    if !file.is_ident(i, "let") {
+        return None;
+    }
+    let mut j = i + 1;
+    if file.is_ident(j, "mut") {
+        j += 1;
+    }
+    let name = file.ident_at(j)?.to_string();
+    if !file.is_punct(j + 1, "=") {
+        return None; // destructuring / if-let / typed lets handled below
+    }
+    let stmt_end = statement_end(file, i, body_end);
+    // the statement must index `shards[…]` and end a chain in read()/write()
+    let mut saw_shards_index = false;
+    let mut saw_guard_call = false;
+    let mut group_index = None;
+    for k in j..stmt_end {
+        if file.is_ident(k, "shards") && file.is_punct(k + 1, "[") {
+            saw_shards_index = true;
+        }
+        if (file.is_ident(k, "read") || file.is_ident(k, "write"))
+            && file.is_punct(k + 1, "(")
+            && file.is_punct(k + 2, ")")
+        {
+            saw_guard_call = true;
+        }
+        if file.is_ident(k, "groups") && file.is_punct(k + 1, "[") {
+            group_index = file.ident_at(k + 2).map(str::to_string);
+        }
+    }
+    // a collect-sweep is handled by check_sweep, not as a named guard
+    let is_sweep = (j..stmt_end).any(|k| file.is_ident(k, "collect"));
+    if saw_shards_index && saw_guard_call && !is_sweep {
+        Some(GuardSite {
+            name,
+            group_index,
+            depth,
+            line: file.line_of(i),
+        })
+    } else {
+        None
+    }
+}
+
+/// If code index `i` starts a statement that collects lock guards, returns
+/// the statement end.
+fn sweep_statement_at(file: &SourceFile, i: usize, body_end: usize) -> Option<usize> {
+    if !file.is_ident(i, "let") {
+        return None;
+    }
+    let stmt_end = statement_end(file, i, body_end);
+    let collects = (i..stmt_end).any(|k| file.is_ident(k, "collect"));
+    if !collects {
+        return None;
+    }
+    // a map closure whose final expression is `.read()`/`.write()`:
+    // tokens `read|write ( ) )`
+    let yields_guard = (i..stmt_end.saturating_sub(3)).any(|k| {
+        (file.is_ident(k, "read") || file.is_ident(k, "write"))
+            && file.is_punct(k + 1, "(")
+            && file.is_punct(k + 2, ")")
+            && file.is_punct(k + 3, ")")
+    });
+    yields_guard.then_some(stmt_end)
+}
+
+/// Validates a guard-collecting sweep: must be `groups.iter().map(…)` with no
+/// reordering/thinning adapter.
+fn check_sweep(
+    file: &SourceFile,
+    start: usize,
+    stmt_end: usize,
+    rule: &'static str,
+) -> Option<Diagnostic> {
+    let direct_iter = (start..stmt_end.saturating_sub(6)).any(|k| {
+        file.is_ident(k, "groups")
+            && file.is_punct(k + 1, ".")
+            && file.is_ident(k + 2, "iter")
+            && file.is_punct(k + 3, "(")
+            && file.is_punct(k + 4, ")")
+            && file.is_punct(k + 5, ".")
+            && file.is_ident(k + 6, "map")
+    });
+    let bad_adapter =
+        (start..stmt_end).find(|&k| FORBIDDEN_ADAPTERS.iter().any(|a| file.is_ident(k, a)));
+    if direct_iter && bad_adapter.is_none() {
+        return None;
+    }
+    let line = file.line_of(bad_adapter.unwrap_or(start));
+    Some(Diagnostic {
+        rule,
+        path: file.rel_path.clone(),
+        line,
+        item: "guard-sweep".to_string(),
+        message: "collecting shard guards must iterate `groups.iter()` directly (ascending \
+                  group order, every group); adapters like rev/filter break the deadlock-freedom \
+                  and replica-exactness arguments"
+            .to_string(),
+    })
+}
+
+/// Code index of the `;` ending the statement starting at `i` (or `body_end`).
+fn statement_end(file: &SourceFile, i: usize, body_end: usize) -> usize {
+    let mut depth = 0isize;
+    for j in i..=body_end {
+        if file.is_punct(j, "(") || file.is_punct(j, "[") || file.is_punct(j, "{") {
+            depth += 1;
+        } else if file.is_punct(j, ")") || file.is_punct(j, "]") || file.is_punct(j, "}") {
+            depth -= 1;
+        } else if depth == 0 && file.is_punct(j, ";") {
+            return j;
+        }
+    }
+    body_end
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let cfg = Config::parse("lock-order crates/partition/src/registry.rs\n").unwrap();
+        let file = SourceFile::parse("crates/partition/src/registry.rs", src);
+        let mut out = Vec::new();
+        LockOrder.check_file(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn unordered_nested_guards_are_flagged() {
+        let diags = run(r#"
+            fn promote_badly(&self, cell: u32, local: usize, home: usize) {
+                let s = self.shard_of(cell);
+                let mut mine = self.groups[local].shards[s].write();
+                let mut theirs = self.groups[home].shards[s].write();
+                install(&mut mine, &mut theirs);
+            }
+        "#);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].item, "nested-guards");
+    }
+
+    #[test]
+    fn the_ordered_pair_idiom_passes() {
+        let diags = run(r#"
+            fn promote(&self, cell: u32, local: usize, home: usize) {
+                let s = self.shard_of(cell);
+                let (first, second) = if local < home {
+                    (local, home)
+                } else {
+                    (home, local)
+                };
+                let mut g1 = self.groups[first].shards[s].write();
+                let mut g2 = self.groups[second].shards[s].write();
+                install(&mut g1, &mut g2);
+            }
+        "#);
+        assert!(diags.is_empty(), "false positives: {diags:?}");
+    }
+
+    #[test]
+    fn ordered_pair_used_backwards_is_flagged() {
+        let diags = run(r#"
+            fn promote(&self, cell: u32, local: usize, home: usize) {
+                let s = self.shard_of(cell);
+                let (first, second) = if local < home {
+                    (local, home)
+                } else {
+                    (home, local)
+                };
+                let mut g2 = self.groups[second].shards[s].write();
+                let mut g1 = self.groups[first].shards[s].write();
+                install(&mut g1, &mut g2);
+            }
+        "#);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+    }
+
+    #[test]
+    fn sequential_guards_in_disjoint_scopes_pass() {
+        let diags = run(r#"
+            fn insert(&self, cell: u32) -> bool {
+                if fast_path {
+                    let mut home_guard = self.groups[home].shards[s].write();
+                    home_guard.touch();
+                    drop(home_guard);
+                }
+                {
+                    let shard = self.groups[local].shards[s].read();
+                    if shard.contains(&cell) { return true; }
+                }
+                let shard = self.groups[home].shards[s].read();
+                shard.contains(&cell)
+            }
+        "#);
+        assert!(diags.is_empty(), "false positives: {diags:?}");
+    }
+
+    #[test]
+    fn reversed_guard_sweep_is_flagged_and_index_order_passes() {
+        let bad = run(r#"
+            fn mirror(&self, s: usize) {
+                let mut guards: Vec<_> =
+                    self.groups.iter().rev().map(|g| g.shards[s].write()).collect();
+                use_all(&mut guards);
+            }
+        "#);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert_eq!(bad[0].item, "guard-sweep");
+
+        let good = run(r#"
+            fn mirror(&self, s: usize) {
+                let mut guards: Vec<_> =
+                    self.groups.iter().map(|g| g.shards[s].write()).collect();
+                use_all(&mut guards);
+            }
+        "#);
+        assert!(good.is_empty(), "false positives: {good:?}");
+    }
+}

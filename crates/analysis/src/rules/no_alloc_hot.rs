@@ -1,0 +1,151 @@
+//! `no-alloc-hot`: declared hot functions must not allocate.
+//!
+//! The GI² matching kernel (PR 5) is allocation-free by design — its ~3.5x
+//! throughput gain evaporates if a future change reintroduces a per-object
+//! `Vec` or `HashSet`. Functions declared via `hot <path> <fn>…` in
+//! `ps2lint.allow` may not contain fresh-container constructors or
+//! allocating conversions. Pushing into *recycled* caller buffers
+//! (`scratch.results.push(..)`) is fine — amortized growth is the design —
+//! so `push`/`extend`/`entry` are deliberately not flagged; the rule targets
+//! per-call container construction, the regression class PR 5 eliminated.
+
+use super::Rule;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+
+/// Container types whose `new`/`with_capacity`/`from` mean a fresh heap
+/// allocation per call.
+const CONTAINER_TYPES: &[&str] = &[
+    "Vec", "Box", "String", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "VecDeque", "Rc", "Arc",
+];
+
+/// Constructor names that allocate on the container types above.
+const CONSTRUCTORS: &[&str] = &["new", "with_capacity", "from", "default"];
+
+/// Method calls that allocate a fresh container from borrowed data.
+const ALLOC_METHODS: &[&str] = &["collect", "to_vec", "to_string", "to_owned", "into_owned"];
+
+/// Macros that allocate.
+const ALLOC_MACROS: &[&str] = &["vec", "format"];
+
+/// See module docs.
+pub struct NoAllocHot;
+
+impl Rule for NoAllocHot {
+    fn name(&self) -> &'static str {
+        "no-alloc-hot"
+    }
+
+    fn description(&self) -> &'static str {
+        "declared hot functions (matching kernel, candidate traversal, routing probes) must not allocate"
+    }
+
+    fn check_file(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        let Some(hot) = cfg.hot_fns_for(&file.rel_path) else {
+            return;
+        };
+        for span in file.functions() {
+            if !hot.iter().any(|h| h == &span.name) {
+                continue;
+            }
+            for i in span.body_start..=span.body_end {
+                if let Some(found) = allocation_at(file, i) {
+                    out.push(Diagnostic {
+                        rule: self.name(),
+                        path: file.rel_path.clone(),
+                        line: file.line_of(i),
+                        item: found.clone(),
+                        message: format!(
+                            "hot function `{}` is declared allocation-free but contains `{}`",
+                            span.name, found
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// If code token `i` starts an allocating construct, returns its item key.
+fn allocation_at(file: &SourceFile, i: usize) -> Option<String> {
+    let id = file.ident_at(i)?;
+    // `Type::constructor`
+    if CONTAINER_TYPES.contains(&id) && i + 2 < file.code_len() && file.is_punct(i + 1, "::") {
+        if let Some(ctor) = file.ident_at(i + 2) {
+            if CONSTRUCTORS.contains(&ctor) {
+                return Some(format!("{id}::{ctor}"));
+            }
+        }
+    }
+    // `.collect()` / `.to_vec()` / …
+    if ALLOC_METHODS.contains(&id) && i > 0 && file.is_punct(i - 1, ".") {
+        return Some(id.to_string());
+    }
+    // `vec![…]` / `format!(…)`
+    if ALLOC_MACROS.contains(&id) && i + 1 < file.code_len() && file.is_punct(i + 1, "!") {
+        return Some(format!("{id}!"));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let cfg = Config::parse("hot crates/x/src/hot.rs kernel traverse\n").unwrap();
+        let file = SourceFile::parse("crates/x/src/hot.rs", src);
+        let mut out = Vec::new();
+        NoAllocHot.check_file(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn violating_hot_function_is_flagged() {
+        let diags = run(r#"
+            pub fn kernel(input: &[u32], out: &mut Vec<u32>) {
+                let staging: Vec<u32> = input.iter().copied().collect();
+                let label = format!("{}", staging.len());
+                let dedup = std::collections::HashSet::new();
+                out.push(label.len() as u32 + dedup.len() as u32);
+            }
+        "#);
+        let items: Vec<_> = diags.iter().map(|d| d.item.as_str()).collect();
+        assert!(items.contains(&"collect"), "items: {items:?}");
+        assert!(items.contains(&"format!"));
+        assert!(items.contains(&"HashSet::new"));
+    }
+
+    #[test]
+    fn clean_hot_function_and_cold_neighbors_pass() {
+        let diags = run(r#"
+            pub fn kernel(input: &[u32], scratch: &mut Scratch) {
+                scratch.results.clear();
+                for &x in input {
+                    if scratch.first_visit(x) {
+                        scratch.results.push(x);
+                    }
+                }
+            }
+            /// Cold path: may allocate freely — not in the hot set.
+            pub fn cold_report(input: &[u32]) -> Vec<String> {
+                input.iter().map(|x| format!("{x}")).collect()
+            }
+        "#);
+        assert!(diags.is_empty(), "false positives: {diags:?}");
+    }
+
+    #[test]
+    fn type_annotations_are_not_constructors() {
+        // `Vec<u32>` in a signature or let-type is not an allocation
+        let diags = run(r#"
+            pub fn traverse(list: &mut Vec<u32>) -> Option<u32> {
+                let first: Option<&u32> = list.first();
+                first.copied()
+            }
+        "#);
+        assert!(diags.is_empty(), "false positives: {diags:?}");
+    }
+}

@@ -1,0 +1,132 @@
+//! `sim-determinism`: operator code must not read wall clocks or OS
+//! randomness except through audited allowlist entries.
+//!
+//! PR 3's deterministic simulation makes a full pipeline run a pure function
+//! of `(workload, seed)` — the property the migration-loss regression tests
+//! and the 20-seed sweep rely on. A stray `Instant::now()` that *influences
+//! control flow* silently breaks seed-reproducibility. Wall-clock reads in
+//! operator code (`operator-path` prefixes in `ps2lint.allow`) therefore
+//! require an audited `allow` entry whose justification states why the read
+//! cannot affect delivered output (timing metrics, deadlines on the
+//! non-deterministic thread backend, …).
+
+use super::Rule;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+
+/// `Type::method` pairs that read the wall clock.
+const CLOCK_PATHS: &[(&str, &str)] = &[("Instant", "now"), ("SystemTime", "now")];
+
+/// Bare identifiers that pull OS entropy.
+const ENTROPY_IDENTS: &[&str] = &["thread_rng", "from_entropy", "OsRng"];
+
+/// See module docs.
+pub struct SimDeterminism;
+
+impl Rule for SimDeterminism {
+    fn name(&self) -> &'static str {
+        "sim-determinism"
+    }
+
+    fn description(&self) -> &'static str {
+        "wall-clock/OS-randomness reads in operator code need an audited allow entry"
+    }
+
+    fn check_file(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        if !cfg.is_operator_path(&file.rel_path) || file.is_test_path {
+            return;
+        }
+        for i in 0..file.code_len() {
+            if file.is_test_code(i) {
+                continue;
+            }
+            let Some(id) = file.ident_at(i) else { continue };
+            let item = if let Some((ty, m)) =
+                CLOCK_PATHS
+                    .iter()
+                    .find(|(ty, _)| *ty == id)
+                    .filter(|(_, m)| {
+                        i + 2 < file.code_len()
+                            && file.is_punct(i + 1, "::")
+                            && file.is_ident(i + 2, m)
+                    }) {
+                format!("{ty}::{m}")
+            } else if ENTROPY_IDENTS.contains(&id) {
+                id.to_string()
+            } else {
+                continue;
+            };
+            out.push(Diagnostic {
+                rule: self.name(),
+                path: file.rel_path.clone(),
+                line: file.line_of(i),
+                item: item.clone(),
+                message: format!(
+                    "`{item}` in operator code breaks seeded-simulation reproducibility; \
+                     route it through the runtime or add an audited allow entry"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let cfg = Config::parse("operator-path crates/core/src\n").unwrap();
+        let file = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        SimDeterminism.check_file(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn wall_clock_in_operator_code_is_flagged() {
+        let diags = run(
+            "crates/core/src/worker.rs",
+            r#"
+            fn handle(&mut self) {
+                let start = Instant::now();
+                let seed = rand::thread_rng();
+                work(start, seed);
+            }
+        "#,
+        );
+        let items: Vec<_> = diags.iter().map(|d| d.item.as_str()).collect();
+        assert_eq!(items, ["Instant::now", "thread_rng"]);
+    }
+
+    #[test]
+    fn clean_operator_code_and_test_code_pass() {
+        let diags = run(
+            "crates/core/src/worker.rs",
+            r#"
+            fn handle(&mut self, tick: u64) {
+                // deterministic: logical ticks, not wall time
+                self.last_tick = tick;
+            }
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn timing_is_fine_in_tests() {
+                    let _ = std::time::Instant::now();
+                }
+            }
+        "#,
+        );
+        assert!(diags.is_empty(), "false positives: {diags:?}");
+    }
+
+    #[test]
+    fn non_operator_paths_are_out_of_scope() {
+        let diags = run(
+            "crates/bench/src/lib.rs",
+            "fn measure() { let t = Instant::now(); use_it(t); }",
+        );
+        assert!(diags.is_empty());
+    }
+}

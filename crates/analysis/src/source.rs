@@ -1,0 +1,307 @@
+//! A lexed source file plus the structural views the rules share:
+//! comment-free code tokens, a `#[cfg(test)]` mask, and function spans.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// One lexed workspace file.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with forward slashes (diagnostic identity and
+    /// the key the allowlist matches on).
+    pub rel_path: String,
+    /// Every token, comments included.
+    pub tokens: Vec<Token>,
+    /// Indices into [`SourceFile::tokens`] of the non-comment tokens.
+    pub code: Vec<usize>,
+    /// Per *code index*: true if the token sits inside a `#[cfg(test)]`
+    /// item (rules about runtime behaviour skip test code).
+    pub test_mask: Vec<bool>,
+    /// True for files under `tests/`, `benches/` or `examples/` directories:
+    /// the whole file is test/driver code.
+    pub is_test_path: bool,
+}
+
+impl SourceFile {
+    /// Lexes `text` into a file model. `rel_path` should use forward slashes.
+    pub fn parse(rel_path: &str, text: &str) -> SourceFile {
+        let tokens = lex(text);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let is_test_path = rel_path
+            .split('/')
+            .any(|seg| seg == "tests" || seg == "benches" || seg == "examples");
+        let mut file = SourceFile {
+            rel_path: rel_path.to_string(),
+            tokens,
+            code,
+            test_mask: Vec::new(),
+            is_test_path,
+        };
+        file.test_mask = file.compute_test_mask();
+        file
+    }
+
+    /// Number of code (non-comment) tokens.
+    pub fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// The `i`-th code token.
+    pub fn ct(&self, i: usize) -> &Token {
+        &self.tokens[self.code[i]]
+    }
+
+    /// The text of the `i`-th code token if it is an identifier.
+    pub fn ident_at(&self, i: usize) -> Option<&str> {
+        let t = self.ct(i);
+        (t.kind == TokenKind::Ident).then_some(t.text.as_str())
+    }
+
+    /// True if code token `i` is the identifier `name`.
+    pub fn is_ident(&self, i: usize, name: &str) -> bool {
+        self.ident_at(i) == Some(name)
+    }
+
+    /// True if code token `i` is the punctuation `p`.
+    pub fn is_punct(&self, i: usize, p: &str) -> bool {
+        let t = self.ct(i);
+        t.kind == TokenKind::Punct && t.text == p
+    }
+
+    /// 1-based line of code token `i`.
+    pub fn line_of(&self, i: usize) -> u32 {
+        self.ct(i).line
+    }
+
+    /// True if code token `i` lies inside a `#[cfg(test)]` item or the file
+    /// is under a test/bench/example path.
+    pub fn is_test_code(&self, i: usize) -> bool {
+        self.is_test_path || self.test_mask[i]
+    }
+
+    /// Marks code-token ranges covered by `#[cfg(test)]`-gated items.
+    fn compute_test_mask(&self) -> Vec<bool> {
+        let mut mask = vec![false; self.code.len()];
+        let mut i = 0usize;
+        while i < self.code.len() {
+            if self.is_punct(i, "#") && i + 1 < self.code.len() && self.is_punct(i + 1, "[") {
+                let attr_end = self.matching_close(i + 1, "[", "]");
+                let is_cfg_test = self.is_ident(i + 2, "cfg")
+                    && (i + 3..attr_end).any(|j| self.is_ident(j, "test"));
+                if is_cfg_test {
+                    // skip any further attributes, then mark the whole item
+                    let mut j = attr_end + 1;
+                    while j + 1 < self.code.len()
+                        && self.is_punct(j, "#")
+                        && self.is_punct(j + 1, "[")
+                    {
+                        j = self.matching_close(j + 1, "[", "]") + 1;
+                    }
+                    let end = self.item_end(j);
+                    for m in mask.iter_mut().take(end + 1).skip(i) {
+                        *m = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+                i = attr_end + 1;
+                continue;
+            }
+            i += 1;
+        }
+        mask
+    }
+
+    /// Given the code index of an opening delimiter, returns the index of its
+    /// matching close (or the last token on imbalance).
+    fn matching_close(&self, open: usize, open_p: &str, close_p: &str) -> usize {
+        let mut depth = 0usize;
+        for j in open..self.code.len() {
+            if self.is_punct(j, open_p) {
+                depth += 1;
+            } else if self.is_punct(j, close_p) {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// End of the item starting at code index `start`: the matching `}` of
+    /// its first top-level brace, or the first top-level `;`.
+    fn item_end(&self, start: usize) -> usize {
+        let mut paren = 0isize;
+        let mut bracket = 0isize;
+        for j in start..self.code.len() {
+            if self.is_punct(j, "(") {
+                paren += 1;
+            } else if self.is_punct(j, ")") {
+                paren -= 1;
+            } else if self.is_punct(j, "[") {
+                bracket += 1;
+            } else if self.is_punct(j, "]") {
+                bracket -= 1;
+            } else if paren == 0 && bracket == 0 {
+                if self.is_punct(j, ";") {
+                    return j;
+                }
+                if self.is_punct(j, "{") {
+                    return self.matching_close(j, "{", "}");
+                }
+            }
+        }
+        self.code.len().saturating_sub(1)
+    }
+
+    /// Every `fn` with a body, with the code-index range of that body
+    /// (inclusive of its braces).
+    pub fn functions(&self) -> Vec<FnSpan> {
+        let mut out = Vec::new();
+        let mut i = 0usize;
+        while i + 1 < self.code.len() {
+            if self.is_ident(i, "fn") {
+                if let Some(name) = self.ident_at(i + 1) {
+                    let name = name.to_string();
+                    // find the body `{` at top-level paren/bracket depth;
+                    // a `;` first means a bodyless declaration (extern block)
+                    let mut paren = 0isize;
+                    let mut bracket = 0isize;
+                    let mut j = i + 2;
+                    let mut body = None;
+                    while j < self.code.len() {
+                        if self.is_punct(j, "(") {
+                            paren += 1;
+                        } else if self.is_punct(j, ")") {
+                            paren -= 1;
+                        } else if self.is_punct(j, "[") {
+                            bracket += 1;
+                        } else if self.is_punct(j, "]") {
+                            bracket -= 1;
+                        } else if paren == 0 && bracket == 0 {
+                            if self.is_punct(j, ";") {
+                                break;
+                            }
+                            if self.is_punct(j, "{") {
+                                body = Some((j, self.matching_close(j, "{", "}")));
+                                break;
+                            }
+                        }
+                        j += 1;
+                    }
+                    if let Some((open, close)) = body {
+                        out.push(FnSpan {
+                            name,
+                            body_start: open,
+                            body_end: close,
+                        });
+                        // nested fns are discovered by the continuing scan
+                        i = open + 1;
+                        continue;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+}
+
+/// One function body (code-index range, braces inclusive).
+#[derive(Debug)]
+pub struct FnSpan {
+    /// The function's name.
+    pub name: String,
+    /// Code index of the body's `{`.
+    pub body_start: usize,
+    /// Code index of the body's `}`.
+    pub body_end: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cfg_test_mask_covers_the_module() {
+        let src = r#"
+            pub fn live() { work(); }
+            #[cfg(test)]
+            mod tests {
+                use super::*;
+                #[test]
+                fn t() { std::time::Instant::now(); }
+            }
+            pub fn also_live() {}
+        "#;
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let mut masked_idents = Vec::new();
+        let mut open_idents = Vec::new();
+        for i in 0..f.code_len() {
+            if let Some(id) = f.ident_at(i) {
+                if f.is_test_code(i) {
+                    masked_idents.push(id.to_string());
+                } else {
+                    open_idents.push(id.to_string());
+                }
+            }
+        }
+        assert!(masked_idents.contains(&"Instant".to_string()));
+        assert!(open_idents.contains(&"live".to_string()));
+        assert!(open_idents.contains(&"also_live".to_string()));
+        assert!(!open_idents.contains(&"Instant".to_string()));
+    }
+
+    #[test]
+    fn cfg_attr_is_not_a_test_gate() {
+        let src = r#"
+            #[cfg_attr(test, allow(dead_code))]
+            fn live() { marker(); }
+        "#;
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        for i in 0..f.code_len() {
+            if f.is_ident(i, "marker") {
+                assert!(!f.is_test_code(i), "cfg_attr must not mask live code");
+            }
+        }
+    }
+
+    #[test]
+    fn test_paths_mask_whole_files() {
+        let f = SourceFile::parse("crates/x/benches/b.rs", "fn main() {}");
+        assert!(f.is_test_code(0));
+        let f = SourceFile::parse("tests/integration.rs", "fn main() {}");
+        assert!(f.is_test_code(0));
+        let f = SourceFile::parse("crates/x/src/lib.rs", "fn main() {}");
+        assert!(!f.is_test_code(0));
+    }
+
+    #[test]
+    fn function_spans_include_generics_and_where_clauses() {
+        let src = r#"
+            extern "C" { fn ffi(x: i32) -> i32; }
+            pub fn matcher<'a, I, F>(items: I, sink: F) -> &'a [u8]
+            where
+                I: Iterator<Item = &'a [u8]>,
+                F: FnMut(usize),
+            {
+                inner();
+                fn inner() {}
+                &[]
+            }
+        "#;
+        let f = SourceFile::parse("crates/x/src/lib.rs", src);
+        let fns = f.functions();
+        let names: Vec<_> = fns.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["matcher", "inner"]);
+        let m = &fns[0];
+        assert!((m.body_start..=m.body_end).any(|i| f.is_ident(i, "inner")));
+    }
+}

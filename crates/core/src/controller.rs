@@ -18,7 +18,7 @@ use ps2stream_balance::{
 };
 use ps2stream_model::WorkerId;
 use ps2stream_partition::{CostConstants, RoutingTable};
-use ps2stream_stream::{unbounded, PollTask, Receiver, Sender, TaskPoll};
+use ps2stream_stream::{bounded, PollTask, Receiver, Sender, TaskPoll};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -67,7 +67,9 @@ impl AdjustmentController {
     /// down simply do not answer; the call times out after a short grace
     /// period.
     fn collect_stats(&self) -> Vec<WorkerStatsReport> {
-        let (tx, rx) = unbounded::<WorkerStatsReport>();
+        // One reply per worker, so a capacity of `workers.len()` means the
+        // replying side can never block on this channel.
+        let (tx, rx) = bounded::<WorkerStatsReport>(self.workers.len().max(1));
         let mut expected = 0usize;
         for w in &self.workers {
             if w.send(WorkerMessage::CollectStats { reply: tx.clone() })
@@ -295,7 +297,9 @@ impl PollTask for ControllerTask {
                     *polls_left -= 1;
                     return TaskPoll::Blocked;
                 }
-                let (tx, reply) = unbounded::<WorkerStatsReport>();
+                // As in `collect_stats`: each worker replies at most once.
+                let (tx, reply) =
+                    bounded::<WorkerStatsReport>(self.controller.workers.len().max(1));
                 let mut expected = 0usize;
                 for w in &self.controller.workers {
                     if w.send(WorkerMessage::CollectStats { reply: tx.clone() })
@@ -342,6 +346,7 @@ mod tests {
     use ps2stream_balance::CellLoadInfo;
     use ps2stream_geo::{CellId, Rect};
     use ps2stream_partition::{CellRouting, WorkerLoad};
+    use ps2stream_stream::unbounded;
     use ps2stream_text::TermStats;
 
     fn routing_two_workers() -> RoutingTable {

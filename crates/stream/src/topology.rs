@@ -249,6 +249,9 @@ pub fn pin_current_thread(cpu: usize) -> bool {
         let mut mask = [0u8; MAX_PIN_CPU / 8];
         mask[cpu / 8] |= 1 << (cpu % 8);
         // pid 0 targets the calling thread
+        // SAFETY: plain FFI call with no pointer retention — the kernel
+        // copies `cpusetsize` bytes out of `mask` before returning, and
+        // `mask` is a live stack array of exactly that length.
         unsafe { sched_setaffinity(0, mask.len(), mask.as_ptr()) == 0 }
     }
     #[cfg(not(target_os = "linux"))]
@@ -483,6 +486,8 @@ mod tests {
             fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u8) -> i32;
         }
         let mask = [0xffu8; MAX_PIN_CPU / 8];
+        // SAFETY: same contract as `pin_current_thread` — the kernel reads
+        // `mask.len()` bytes from the live stack array and keeps nothing.
         unsafe {
             let _ = sched_setaffinity(0, mask.len(), mask.as_ptr());
         }
