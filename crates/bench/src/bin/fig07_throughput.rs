@@ -33,11 +33,26 @@ fn run_panel(
                 ("panel", JsonValue::Str(panel.to_string())),
                 ("workload", JsonValue::Str(workload)),
                 ("strategy", JsonValue::Str(strategy.to_string())),
+                ("scenario", JsonValue::Str(knobs.scenario_name())),
                 ("throughput_tps", JsonValue::Float(report.throughput_tps)),
                 ("balance_factor", JsonValue::Float(report.balance_factor())),
                 (
                     "matches_delivered",
                     JsonValue::Int(report.matches_delivered as i64),
+                ),
+                // the adjustment controller's reaction to the scenario
+                // (all-zero when adjustment is off, i.e. steady-state runs)
+                (
+                    "migration_rounds",
+                    JsonValue::Int(report.migration_rounds as i64),
+                ),
+                (
+                    "migration_moves",
+                    JsonValue::Int(report.migration_moves as i64),
+                ),
+                (
+                    "migration_bytes",
+                    JsonValue::Int(report.migration_bytes as i64),
                 ),
             ]);
         }
@@ -99,6 +114,7 @@ fn main() {
             "fig07_throughput",
             &[
                 ("scale_factor", JsonValue::Float(Scale::factor())),
+                ("scenario", JsonValue::Str(knobs.scenario_name())),
                 ("knobs", JsonValue::Str(knobs.describe())),
             ],
             &json_rows,

@@ -34,6 +34,7 @@ fn run_panel(
                 ("panel", JsonValue::Str(panel.to_string())),
                 ("workload", JsonValue::Str(workload)),
                 ("strategy", JsonValue::Str(strategy.to_string())),
+                ("scenario", JsonValue::Str(knobs.scenario_name())),
                 (
                     "mean_latency_ms",
                     JsonValue::Float(report.mean_latency.as_secs_f64() * 1e3),
@@ -41,6 +42,20 @@ fn run_panel(
                 (
                     "p99_latency_ms",
                     JsonValue::Float(report.p99_latency.as_secs_f64() * 1e3),
+                ),
+                // the adjustment controller's reaction to the scenario
+                // (all-zero when adjustment is off, i.e. steady-state runs)
+                (
+                    "migration_rounds",
+                    JsonValue::Int(report.migration_rounds as i64),
+                ),
+                (
+                    "migration_moves",
+                    JsonValue::Int(report.migration_moves as i64),
+                ),
+                (
+                    "migration_bytes",
+                    JsonValue::Int(report.migration_bytes as i64),
                 ),
             ]);
         }
@@ -102,6 +117,7 @@ fn main() {
             "fig08_latency",
             &[
                 ("scale_factor", JsonValue::Float(Scale::factor())),
+                ("scenario", JsonValue::Str(knobs.scenario_name())),
                 ("knobs", JsonValue::Str(knobs.describe())),
             ],
             &json_rows,

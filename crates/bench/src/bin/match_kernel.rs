@@ -7,13 +7,20 @@
 //! root). `--json <path>` writes the numbers in machine-readable form;
 //! `--smoke` shrinks the workload for CI.
 //!
-//! All three entry points are cross-checked: the total match count must be
-//! identical for `match_object`, `match_object_into` and `match_batch`.
+//! The three entry points are measured **interleaved, round by round** (one
+//! sweep of each variant per round, in rotation): measuring each variant in
+//! one solid block lets clock drift and thermal throttling penalize whichever
+//! variant runs last, which is exactly how the original `match_batch`
+//! regression hid in plain sight. The per-round throughput of every variant
+//! is emitted as a `rows` entry in the JSON report.
+//!
+//! All three entry points are cross-checked: the per-round match count must
+//! be identical for `match_object`, `match_object_into` and `match_batch`.
 
 use ps2stream::prelude::*;
 use ps2stream_bench::{json_arg, write_json_file, JsonValue};
 use ps2stream_index::{Gi2Config, Gi2Index, MatchScratch};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 struct Workload {
     queries: Vec<StsQuery>,
@@ -44,23 +51,33 @@ fn build_index(workload: &Workload) -> Gi2Index {
     index
 }
 
-/// One measured pass: `rounds` sweeps over the object set, returning
-/// (objects/s, total matches) — the match count doubles as a cross-variant
-/// equivalence check.
-fn measure<F: FnMut(&SpatioTextualObject) -> usize>(
-    objects: &[SpatioTextualObject],
-    rounds: usize,
-    mut f: F,
-) -> (f64, u64) {
-    let mut matches = 0u64;
-    let start = Instant::now();
-    for _ in 0..rounds {
-        for o in objects {
-            matches += f(o) as u64;
+/// Accumulated timing of one kernel entry point across the interleaved
+/// rounds.
+struct Variant {
+    name: &'static str,
+    total: Duration,
+    matches: u64,
+}
+
+impl Variant {
+    fn new(name: &'static str) -> Self {
+        Self {
+            name,
+            total: Duration::ZERO,
+            matches: 0,
         }
     }
-    let elapsed = start.elapsed().as_secs_f64();
-    ((objects.len() * rounds) as f64 / elapsed, matches)
+
+    /// Records one timed sweep; returns this round's throughput.
+    fn record(&mut self, elapsed: Duration, matches: u64, objects: usize) -> f64 {
+        self.total += elapsed;
+        self.matches += matches;
+        objects as f64 / elapsed.as_secs_f64()
+    }
+
+    fn tps(&self, objects: usize, rounds: usize) -> f64 {
+        (objects * rounds) as f64 / self.total.as_secs_f64()
+    }
 }
 
 fn main() {
@@ -71,50 +88,82 @@ fn main() {
         (10_000, 2_000, 20)
     };
     let workload = build_workload(n_queries, n_objects);
+    let objects = &workload.objects;
 
-    // Legacy allocating entry point (kept as the compatibility wrapper).
-    let mut index = build_index(&workload);
-    let (object_tps, matches_object) =
-        measure(&workload.objects, rounds, |o| index.match_object(o).len());
+    // One index per entry point, each swept `rounds` times. Indexes persist
+    // across rounds (the workload has no deletions, so no tombstone state
+    // accumulates between sweeps).
+    let mut index_object = build_index(&workload);
+    let mut index_into = build_index(&workload);
+    let mut scratch_into = MatchScratch::new();
+    let mut index_batch = build_index(&workload);
+    let mut scratch_batch = MatchScratch::new();
 
-    // Scratch-threaded zero-allocation entry point.
-    let mut index = build_index(&workload);
-    let mut scratch = MatchScratch::new();
-    let (into_tps, matches_into) = measure(&workload.objects, rounds, |o| {
-        index.match_object_into(o, &mut scratch).len()
-    });
+    let mut object_v = Variant::new("match_object");
+    let mut into_v = Variant::new("match_object_into");
+    let mut batch_v = Variant::new("match_batch");
+    let mut rows: Vec<Vec<(&'static str, JsonValue)>> = Vec::new();
+    let row = |round: usize, variant: &'static str, tps: f64| -> Vec<(&'static str, JsonValue)> {
+        vec![
+            ("round", JsonValue::Int(round as i64)),
+            ("variant", JsonValue::Str(variant.to_string())),
+            ("objects_per_sec", JsonValue::Float(tps)),
+        ]
+    };
 
-    // Batched entry point (64-object batches, the worker's steady state).
-    let mut index = build_index(&workload);
-    let mut scratch = MatchScratch::new();
-    let mut batch_matches = 0u64;
-    let start = Instant::now();
-    for _ in 0..rounds {
-        for chunk in workload.objects.chunks(64) {
-            index.match_batch(chunk.iter(), &mut scratch, |_, _, results| {
-                batch_matches += results.len() as u64;
+    for round in 0..rounds {
+        // Legacy allocating entry point (kept as the compatibility wrapper).
+        let start = Instant::now();
+        let mut matches = 0u64;
+        for o in objects {
+            matches += index_object.match_object(o).len() as u64;
+        }
+        let tps = object_v.record(start.elapsed(), matches, objects.len());
+        rows.push(row(round, object_v.name, tps));
+        let round_matches = matches;
+
+        // Scratch-threaded zero-allocation entry point.
+        let start = Instant::now();
+        let mut matches = 0u64;
+        for o in objects {
+            matches += index_into.match_object_into(o, &mut scratch_into).len() as u64;
+        }
+        let tps = into_v.record(start.elapsed(), matches, objects.len());
+        rows.push(row(round, into_v.name, tps));
+        assert_eq!(
+            round_matches, matches,
+            "match_object and match_object_into disagree (round {round})"
+        );
+
+        // Batched entry point (64-object batches, the worker's steady state).
+        let start = Instant::now();
+        let mut matches = 0u64;
+        for chunk in objects.chunks(64) {
+            index_batch.match_batch(chunk.iter(), &mut scratch_batch, |_, _, results| {
+                matches += results.len() as u64;
             });
         }
+        let tps = batch_v.record(start.elapsed(), matches, objects.len());
+        rows.push(row(round, batch_v.name, tps));
+        assert_eq!(
+            round_matches, matches,
+            "match_object and match_batch disagree (round {round})"
+        );
     }
-    let batch_tps = (workload.objects.len() * rounds) as f64 / start.elapsed().as_secs_f64();
-    let rejections = index.signature_rejections();
 
-    assert_eq!(
-        matches_object, matches_into,
-        "match_object and match_object_into disagree"
-    );
-    assert_eq!(
-        matches_object, batch_matches,
-        "match_object and match_batch disagree"
-    );
+    let object_tps = object_v.tps(objects.len(), rounds);
+    let into_tps = into_v.tps(objects.len(), rounds);
+    let batch_tps = batch_v.tps(objects.len(), rounds);
+    let matches_per_sweep = object_v.matches / rounds as u64;
+    let rejections = index_batch.signature_rejections();
 
     println!(
-        "Matching kernel (fixed seed; {n_queries} queries, {n_objects} objects, {rounds} rounds)"
+        "Matching kernel (fixed seed; {n_queries} queries, {n_objects} objects, {rounds} interleaved rounds)"
     );
     println!("  match_object      {object_tps:>12.0} objects/s");
     println!("  match_object_into {into_tps:>12.0} objects/s");
     println!("  match_batch(64)   {batch_tps:>12.0} objects/s");
-    println!("  matches per sweep {}", matches_object / rounds as u64);
+    println!("  matches per sweep {matches_per_sweep}");
     println!("  signature rejections (batch run) {rejections}");
 
     if let Some(path) = json_arg() {
@@ -130,11 +179,11 @@ fn main() {
                 ("match_batch_tps", JsonValue::Float(batch_tps)),
                 (
                     "matches_per_sweep",
-                    JsonValue::Int((matches_object / rounds as u64) as i64),
+                    JsonValue::Int(matches_per_sweep as i64),
                 ),
                 ("signature_rejections", JsonValue::Int(rejections as i64)),
             ],
-            &[],
+            &rows,
         )
         .expect("writing --json output");
         println!("  wrote {path}");

@@ -131,6 +131,9 @@ pub struct Experiment {
     /// Core-pinning override (None = the system default, which honours
     /// `PS2_PIN`).
     pub pinning: Option<bool>,
+    /// Adversarial scenario overlaid on the measured stream (None = the
+    /// paper's steady-state mix).
+    pub scenario: Option<Scenario>,
     /// Random seed.
     pub seed: u64,
 }
@@ -155,6 +158,7 @@ impl Experiment {
             batch_size: None,
             runtime: None,
             pinning: None,
+            scenario: None,
             seed: 42,
         }
     }
@@ -186,6 +190,14 @@ impl Experiment {
     /// Overrides core pinning (see `SystemConfig::pinning`).
     pub fn with_pinning(mut self, pinning: bool) -> Self {
         self.pinning = Some(pinning);
+        self
+    }
+
+    /// Overlays an adversarial workload scenario on the measured stream
+    /// (warm-up stays steady-state so every run starts from the same live
+    /// query population).
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = Some(scenario);
         self
     }
 
@@ -248,8 +260,19 @@ impl Experiment {
         for record in driver.warm_up(scale.queries) {
             system.send(record);
         }
-        for record in (&mut driver).take(scale.stream_records) {
-            system.send(record);
+        match self.scenario {
+            Some(scenario) => {
+                let mut scenario_driver =
+                    ScenarioDriver::new(driver, scenario, self.seed.wrapping_add(31));
+                for record in (&mut scenario_driver).take(scale.stream_records) {
+                    system.send(record);
+                }
+            }
+            None => {
+                for record in (&mut driver).take(scale.stream_records) {
+                    system.send(record);
+                }
+            }
         }
         system.finish()
     }
@@ -365,6 +388,10 @@ pub struct RunKnobs {
     pub runtime: Option<RuntimeBackend>,
     /// `--pin`: core pinning.
     pub pinning: Option<bool>,
+    /// `--scenario <name>`: adversarial workload scenario. Implies dynamic
+    /// load adjustment (the controller's reaction is the thing being
+    /// measured).
+    pub scenario: Option<Scenario>,
 }
 
 impl RunKnobs {
@@ -374,20 +401,29 @@ impl RunKnobs {
             batch: batch_arg(),
             runtime: runtime_arg(),
             pinning: pin_arg(),
+            scenario: scenario_arg(),
         }
     }
 
     /// Renders the knob line printed in each figure header.
     pub fn describe(&self) -> String {
         format!(
-            "--batch {}; --runtime {}; pinning {}",
+            "--batch {}; --runtime {}; pinning {}; scenario {}",
             self.batch.map_or("default".to_string(), |b| b.to_string()),
             self.runtime
                 .as_ref()
                 .map_or("default".to_string(), |r| r.name().to_string()),
             self.pinning
                 .map_or("default".to_string(), |p| p.to_string()),
+            self.scenario
+                .map_or("steady-state".to_string(), |s| s.name().to_string()),
         )
+    }
+
+    /// The scenario name for JSON reports ("steady-state" when none).
+    pub fn scenario_name(&self) -> String {
+        self.scenario
+            .map_or("steady-state".to_string(), |s| s.name().to_string())
     }
 }
 
@@ -411,6 +447,17 @@ pub fn headline_report_batched(
     }
     if let Some(pinning) = knobs.pinning {
         experiment = experiment.with_pinning(pinning);
+    }
+    if let Some(scenario) = knobs.scenario {
+        // an adversarial run is about the controller's reaction, so enable
+        // dynamic adjustment with the responsive poll interval the Figure 16
+        // drift experiment uses
+        experiment = experiment
+            .with_scenario(scenario)
+            .with_adjustment(AdjustmentConfig {
+                poll_interval_ms: 50,
+                ..AdjustmentConfig::default()
+            });
     }
     experiment.run()
 }
@@ -458,6 +505,26 @@ pub fn runtime_arg() -> Option<RuntimeBackend> {
 /// `PS2_PIN`).
 pub fn pin_arg() -> Option<bool> {
     std::env::args().any(|a| a == "--pin").then_some(true)
+}
+
+/// Parses a `--scenario <name>` argument (the adversarial-workload knob of
+/// the fig07/fig08 binaries). Returns `None` when absent; panics on an
+/// unknown scenario name, listing the valid ones, so a typo does not
+/// silently benchmark the steady-state mix.
+pub fn scenario_arg() -> Option<Scenario> {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.iter().enumerate().find_map(|(i, arg)| {
+        arg.strip_prefix("--scenario=")
+            .map(str::to_owned)
+            .or_else(|| {
+                (arg == "--scenario")
+                    .then(|| args.get(i + 1).expect("--scenario expects a value").clone())
+            })
+    })?;
+    Some(Scenario::parse(&name).unwrap_or_else(|| {
+        let valid: Vec<&str> = Scenario::all().iter().map(|s| s.name()).collect();
+        panic!("--scenario {name:?}: expected one of {}", valid.join(", "))
+    }))
 }
 
 /// Parses a `--json <path>` argument: the experiment binaries write their
@@ -609,6 +676,34 @@ mod tests {
         .run();
         assert!(report.records_in > 0);
         assert!(report.throughput_tps > 0.0);
+    }
+
+    #[test]
+    fn scenario_experiments_run_end_to_end() {
+        let scale = Scale {
+            queries: 200,
+            stream_records: 400,
+            calibration_objects: 300,
+            calibration_queries: 100,
+        };
+        for scenario in Scenario::all() {
+            let report = Experiment::new(
+                DatasetSpec::tiny(),
+                QueryClass::Q1,
+                Box::new(KdTreePartitioner::default()),
+                scale,
+            )
+            .with_workers(2)
+            .with_scenario(scenario)
+            .run();
+            assert_eq!(
+                report.records_in,
+                600,
+                "scenario {} lost records",
+                scenario.name()
+            );
+            assert!(report.throughput_tps > 0.0);
+        }
     }
 
     #[test]

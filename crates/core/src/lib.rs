@@ -94,6 +94,6 @@ pub mod prelude {
     pub use ps2stream_text::{BooleanExpr, TermId, Tokenizer, Vocabulary};
     pub use ps2stream_workload::{
         build_sample, CorpusGenerator, DatasetSpec, DriverConfig, QueryClass, QueryGenerator,
-        QueryGeneratorConfig, WorkloadDriver,
+        QueryGeneratorConfig, Scenario, ScenarioDriver, WorkloadDriver,
     };
 }

@@ -523,6 +523,84 @@ mod tests {
     }
 
     #[test]
+    fn result_budget_flush_neither_drops_nor_duplicates() {
+        // batch_size 16 → result_budget = (16 * 4).max(64) = 64. Thirty
+        // queries match every object, so the third object pushes the
+        // buffered result count to 90 ≥ 64 and trips the early flush at
+        // worker.rs's push_matches budget branch; the remaining two objects
+        // leave through the end-of-batch flush.
+        let metrics = SystemMetrics::new(1);
+        let (worker_tx, worker_rx) = unbounded::<WorkerMessage>();
+        let (merger_tx, merger_rx) = bounded::<MergerMessage>(16);
+        let worker = Worker::new(
+            WorkerId(0),
+            gi2(),
+            vec![worker_tx.clone()],
+            vec![merger_tx],
+            Arc::clone(&metrics),
+            16,
+        );
+        assert_eq!(worker.result_budget, 64);
+
+        let num_queries = 30u64;
+        let num_objects = 5u64;
+        let mut batch = Batch::new();
+        for id in 1..=num_queries {
+            batch.push(Envelope::now(
+                id,
+                StreamRecord::Update(QueryUpdate::Insert(query(
+                    id,
+                    7,
+                    Rect::from_coords(0.0, 0.0, 8.0, 8.0),
+                ))),
+            ));
+        }
+        for id in 0..num_objects {
+            batch.push(Envelope::now(
+                num_queries + id,
+                StreamRecord::Object(object(100 + id, 7, 2.0, 2.0)),
+            ));
+        }
+        worker_tx.send(WorkerMessage::Records(batch)).unwrap();
+        worker_tx.send(WorkerMessage::Shutdown).unwrap();
+        worker.run(worker_rx);
+
+        // drain every merger message; each object must arrive exactly once
+        // with its complete match set, regardless of which flush emitted it
+        let mut messages = 0usize;
+        let mut delivered: HashMap<u64, Vec<QueryId>> = HashMap::new();
+        while let Ok(MergerMessage::Matches(batch)) = merger_rx.try_recv() {
+            messages += 1;
+            for record in batch.records() {
+                // derived match envelopes keep the object's sequence number
+                let previous = delivered.insert(
+                    record.sequence,
+                    record.payload.iter().map(|m| m.query_id).collect(),
+                );
+                assert!(
+                    previous.is_none(),
+                    "object (sequence {}) delivered twice across the flush boundary",
+                    record.sequence
+                );
+            }
+        }
+        assert!(
+            messages >= 2,
+            "the budget flush must split the batch into multiple messages"
+        );
+        assert_eq!(delivered.len(), num_objects as usize, "no object dropped");
+        for (sequence, mut query_ids) in delivered {
+            assert!((num_queries..num_queries + num_objects).contains(&sequence));
+            query_ids.sort_unstable();
+            let expected: Vec<QueryId> = (1..=num_queries).map(QueryId).collect();
+            assert_eq!(
+                query_ids, expected,
+                "object (sequence {sequence}) lost or gained matches across the flush"
+            );
+        }
+    }
+
+    #[test]
     fn migration_between_workers_moves_queries() {
         let metrics = SystemMetrics::new(2);
         let (tx_a, rx_a) = unbounded::<WorkerMessage>();

@@ -26,9 +26,12 @@
 //!   entries are compacted out of the list in the same pass that scans it,
 //!   so there is no separate retain sweep at all (and no sweep cost when
 //!   nothing is tombstoned);
-//! * [`Gi2Index::match_batch`] amortizes `TermStats` observation, the
-//!   lazy-deletion settlement and the work counters across a whole batch of
-//!   objects.
+//! * [`Gi2Index::match_batch`] amortizes the lazy-deletion settlement and
+//!   the work counters across a whole batch of objects; term-statistics
+//!   observation stays inside the per-object loop (a separate up-front pass
+//!   over the batch would walk every term slice twice and trash the cache
+//!   before matching starts — the very regression that made the batch API
+//!   slower than single-object matching).
 
 use crate::cell::{CellIndex, CellTermStat};
 use crate::scratch::MatchScratch;
@@ -125,6 +128,12 @@ impl Gi2Index {
     /// (e.g. from a corpus sample distributed by the dispatchers).
     pub fn set_term_stats(&mut self, stats: TermStats) {
         self.stats = stats;
+    }
+
+    /// The term statistics accumulated from every matched object (exposed so
+    /// tests can pin the batched and unbatched observation paths identical).
+    pub fn term_stats(&self) -> &TermStats {
+        &self.stats
     }
 
     /// The grid geometry of the index.
@@ -291,6 +300,7 @@ impl Gi2Index {
             let idx = self.grid.cell_index(cell);
             self.cells[idx].record_object();
             let osig = terms_signature(&object.terms);
+            scratch.begin_object(self.slab.capacity());
             Self::match_in_cell(
                 &mut self.cells,
                 &self.slab,
@@ -308,25 +318,36 @@ impl Gi2Index {
 
     /// Matches a whole batch of objects, calling `sink(position, object,
     /// results)` once per object in order. Amortized across the batch:
-    /// term-statistics observation (one table-sizing pass), lazy-deletion
-    /// settlement (once at the end — no query mutation can occur mid-batch)
-    /// and the work counters.
+    /// lazy-deletion settlement (once at the end — no query mutation can
+    /// occur mid-batch) and the work counters.
+    ///
+    /// Term statistics are observed **inside** the per-object loop, not in a
+    /// separate up-front pass: walking every object's term slice before
+    /// matching even starts would evict the posting lists from cache and walk
+    /// the batch twice. The observation order is identical to calling
+    /// [`Gi2Index::match_object_into`] per object, so the resulting
+    /// [`TermStats`] are bit-identical to the unbatched path (pinned by
+    /// `match_batch_term_stats_equal_per_object_observe`).
     pub fn match_batch<'a, I, F>(&mut self, objects: I, scratch: &mut MatchScratch, mut sink: F)
     where
-        I: Iterator<Item = &'a SpatioTextualObject> + Clone,
+        I: Iterator<Item = &'a SpatioTextualObject>,
         F: FnMut(usize, &'a SpatioTextualObject, &[MatchResult]),
     {
-        self.stats
-            .observe_batch(objects.clone().map(|o| o.terms.as_slice()));
         scratch.purged.clear();
+        // The slab cannot grow mid-batch (matching takes no query updates),
+        // so the visit array is sized once here and each object only bumps
+        // the dedup epoch.
+        scratch.begin_batch(self.slab.capacity());
         let mut processed = 0u64;
         for (i, object) in objects.enumerate() {
             processed += 1;
+            self.stats.observe(&object.terms);
             scratch.results.clear();
             if let Some(cell) = self.grid.cell_of(&object.location) {
                 let idx = self.grid.cell_index(cell);
                 self.cells[idx].record_object();
                 let osig = terms_signature(&object.terms);
+                scratch.next_epoch();
                 Self::match_in_cell(
                     &mut self.cells,
                     &self.slab,
@@ -349,6 +370,9 @@ impl Gi2Index {
     /// entries out **in the same pass** (no separate retain sweep),
     /// prefiltering candidates by signature, deduplicating via the scratch
     /// epoch and running the full check only on survivors.
+    ///
+    /// The caller must have prepared the scratch for this object (visit
+    /// array sized to the slab, dedup epoch bumped).
     #[allow(clippy::too_many_arguments)]
     fn match_in_cell(
         cells: &mut [CellIndex],
@@ -360,7 +384,6 @@ impl Gi2Index {
         matches_checked: &mut u64,
         signature_rejections: &mut u64,
     ) {
-        scratch.begin_object(slab.capacity());
         let live = slab.live_flags();
         let sigs = slab.signatures();
         let slots = slab.slots();
@@ -697,6 +720,77 @@ mod tests {
         }
         assert_eq!(a.objects_processed(), b.objects_processed());
         assert_eq!(a.pending_tombstones(), b.pending_tombstones());
+    }
+
+    #[test]
+    fn match_batch_term_stats_equal_per_object_observe() {
+        // The batched path must leave TermStats bit-identical to observing
+        // every object one by one (the single-pass design folds observation
+        // into the match loop — this pins that no object is observed twice,
+        // skipped, or observed out of order).
+        let mut batched = Gi2Index::new(config());
+        let mut singles = Gi2Index::new(config());
+        for i in 0..10u64 {
+            let q = query(i, &[(i % 4) as u32], Rect::from_coords(0.0, 0.0, 8.0, 8.0));
+            batched.insert(q.clone());
+            singles.insert(q);
+        }
+        let objects: Vec<SpatioTextualObject> = (0..30u64)
+            .map(|i| {
+                object(
+                    i,
+                    &[(i % 7) as u32, 20 + (i % 3) as u32],
+                    (i % 16) as f64,
+                    ((i * 5) % 16) as f64,
+                )
+            })
+            .collect();
+        let mut scratch = MatchScratch::new();
+        for chunk in objects.chunks(8) {
+            batched.match_batch(chunk.iter(), &mut scratch, |_, _, _| {});
+        }
+        for o in &objects {
+            let _ = singles.match_object_into(o, &mut scratch);
+        }
+        assert_eq!(batched.term_stats(), singles.term_stats());
+        assert_eq!(batched.term_stats().num_docs(), objects.len() as u64);
+
+        // an empty batch observes nothing and changes nothing
+        let before = batched.term_stats().clone();
+        batched.match_batch([].iter(), &mut scratch, |_, _, _| unreachable!());
+        assert_eq!(batched.term_stats(), &before);
+        assert_eq!(batched.objects_processed(), singles.objects_processed());
+    }
+
+    #[test]
+    fn match_batch_observes_objects_in_all_tombstoned_cells() {
+        // A cell whose posting entries are all tombstoned still has its
+        // objects observed (and its tombstones settled) by the batched path,
+        // exactly like the per-object path.
+        let mut batched = Gi2Index::new(config());
+        let mut singles = Gi2Index::new(config());
+        for idx in [&mut batched, &mut singles] {
+            for i in 0..4u64 {
+                idx.insert(query(i, &[1], Rect::from_coords(0.5, 0.5, 1.5, 1.5)));
+            }
+            for i in 0..4u64 {
+                idx.delete_by_id(QueryId(i));
+            }
+            assert_eq!(idx.pending_tombstones(), 4);
+        }
+        let objects: Vec<SpatioTextualObject> =
+            (0..6u64).map(|i| object(i, &[1, 2], 1.0, 1.0)).collect();
+        let mut scratch = MatchScratch::new();
+        batched.match_batch(objects.iter(), &mut scratch, |_, _, r| {
+            assert!(r.is_empty(), "tombstoned query must not match");
+        });
+        for o in &objects {
+            assert!(singles.match_object_into(o, &mut scratch).is_empty());
+        }
+        assert_eq!(batched.term_stats(), singles.term_stats());
+        assert_eq!(batched.term_stats().num_docs(), objects.len() as u64);
+        assert_eq!(batched.pending_tombstones(), 0);
+        assert_eq!(singles.pending_tombstones(), 0);
     }
 
     #[test]

@@ -114,6 +114,26 @@ mod proptests {
         )
     }
 
+    /// One record of an [`Op::Interleaved`] worker batch: objects mixed with
+    /// query updates in arrival order.
+    #[derive(Debug, Clone)]
+    enum BatchItem {
+        /// An object record; accumulates into the current run.
+        Obj(GenObject),
+        /// A query insertion; splits (flushes) the current run.
+        Ins(GenQuery),
+        /// A query deletion; splits (flushes) the current run.
+        Del(u64),
+    }
+
+    fn arb_batch_item() -> impl Strategy<Value = BatchItem> {
+        prop_oneof![
+            4 => (0u64..1_000).prop_flat_map(arb_object).prop_map(BatchItem::Obj),
+            2 => (0u64..30).prop_flat_map(arb_query).prop_map(BatchItem::Ins),
+            1 => (0u64..30).prop_map(BatchItem::Del),
+        ]
+    }
+
     /// One step of the randomized operation-sequence workload of
     /// `gi2_ops_sequence_matches_brute_force`.
     #[derive(Debug, Clone)]
@@ -124,6 +144,11 @@ mod proptests {
         Delete(u64),
         /// Match a small batch of objects against both indexes.
         Match(Vec<GenObject>),
+        /// A worker input batch interleaving objects with query updates:
+        /// consecutive objects form a run matched through the batched
+        /// kernel, and every update flushes the run first (the worker's
+        /// run-splitting logic in `Worker::handle_records`).
+        Interleaved(Vec<BatchItem>),
         /// Migrate one grid cell between the indexes (direction from parity).
         Migrate(u32, u32),
         /// Replicate a cell's queries containing a term into the peer index
@@ -137,9 +162,45 @@ mod proptests {
             2 => (0u64..30).prop_map(Op::Delete),
             3 => proptest::collection::vec((0u64..1_000).prop_flat_map(arb_object), 1..6)
                 .prop_map(Op::Match),
+            2 => proptest::collection::vec(arb_batch_item(), 1..12)
+                .prop_map(Op::Interleaved),
             1 => (0u32..16, 0u32..16).prop_map(|(c, r)| Op::Migrate(c, r)),
             1 => (0u32..16, 0u32..16, 0u32..25).prop_map(|(c, r, t)| Op::Replicate(c, r, t)),
         ]
+    }
+
+    /// Matches `objects` through the batched kernel on `a` and the
+    /// scratch-threaded singles on `b`, and pins the combined, deduplicated
+    /// result to a brute-force scan of the model.
+    fn check_batch(
+        a: &mut Gi2Index,
+        b: &mut Gi2Index,
+        model: &std::collections::BTreeMap<u64, StsQuery>,
+        scratch: &mut MatchScratch,
+        objects: &[SpatioTextualObject],
+    ) -> Result<(), TestCaseError> {
+        let mut got: Vec<(u64, QueryId)> = Vec::new();
+        a.match_batch(objects.iter(), scratch, |_, o, r| {
+            got.extend(r.iter().map(|m| (o.id.0, m.query_id)));
+        });
+        for o in objects {
+            let r = b.match_object_into(o, scratch);
+            got.extend(r.iter().map(|m| (o.id.0, m.query_id)));
+        }
+        got.sort_unstable();
+        got.dedup(); // replicas match on both sides (merger dedups)
+        let mut expected: Vec<(u64, QueryId)> = Vec::new();
+        for o in objects {
+            expected.extend(
+                model
+                    .values()
+                    .filter(|q| q.matches(o))
+                    .map(|q| (o.id.0, q.id)),
+            );
+        }
+        expected.sort_unstable();
+        prop_assert_eq!(got, expected);
+        Ok(())
     }
 
     proptest! {
@@ -213,7 +274,9 @@ mod proptests {
         /// The full kernel (slab slots + signature prefilter + epoch dedup +
         /// batched matching) must agree exactly with a brute-force scan over
         /// the live query set, under an arbitrary interleaving of inserts,
-        /// deletes, cell migrations and replications **mid-stream**.
+        /// deletes, cell migrations and replications **mid-stream** —
+        /// including updates arriving *inside* a worker input batch, which
+        /// exercise the run-splitting flush of `Worker::handle_records`.
         #[test]
         fn gi2_ops_sequence_matches_brute_force(
             ops in proptest::collection::vec(arb_op(), 1..40),
@@ -252,29 +315,44 @@ mod proptests {
                                 o
                             })
                             .collect();
-                        let mut got: Vec<(u64, QueryId)> = Vec::new();
                         // batched API on A, scratch-threaded singles on B:
                         // both entry points stay pinned to brute force
-                        a.match_batch(objects.iter(), &mut scratch, |_, o, r| {
-                            got.extend(r.iter().map(|m| (o.id.0, m.query_id)));
-                        });
-                        for o in &objects {
-                            let r = b.match_object_into(o, &mut scratch);
-                            got.extend(r.iter().map(|m| (o.id.0, m.query_id)));
+                        check_batch(&mut a, &mut b, &model, &mut scratch, &objects)?;
+                    }
+                    Op::Interleaved(items) => {
+                        // mirrors `Worker::handle_records`: consecutive
+                        // objects accumulate into a run matched through the
+                        // batched kernel; an insert/delete flushes the run
+                        // first, so the update cannot affect objects that
+                        // arrived before it in the same batch
+                        let mut run: Vec<SpatioTextualObject> = Vec::new();
+                        for item in items {
+                            match item {
+                                BatchItem::Obj(g) => {
+                                    let mut o = build_object(&g);
+                                    o.id = ObjectId(next_object);
+                                    next_object += 1;
+                                    run.push(o);
+                                }
+                                BatchItem::Ins(gq) => {
+                                    check_batch(&mut a, &mut b, &model, &mut scratch, &run)?;
+                                    run.clear();
+                                    let q = build_query(&gq);
+                                    a.delete_by_id(q.id);
+                                    b.delete_by_id(q.id);
+                                    model.insert(q.id.0, q.clone());
+                                    a.insert(q);
+                                }
+                                BatchItem::Del(id) => {
+                                    check_batch(&mut a, &mut b, &model, &mut scratch, &run)?;
+                                    run.clear();
+                                    a.delete_by_id(QueryId(id));
+                                    b.delete_by_id(QueryId(id));
+                                    model.remove(&id);
+                                }
+                            }
                         }
-                        got.sort_unstable();
-                        got.dedup(); // replicas match on both sides (merger dedups)
-                        let mut expected: Vec<(u64, QueryId)> = Vec::new();
-                        for o in &objects {
-                            expected.extend(
-                                model
-                                    .values()
-                                    .filter(|q| q.matches(o))
-                                    .map(|q| (o.id.0, q.id)),
-                            );
-                        }
-                        expected.sort_unstable();
-                        prop_assert_eq!(got, expected);
+                        check_batch(&mut a, &mut b, &model, &mut scratch, &run)?;
                     }
                     Op::Migrate(c, r) => {
                         let cell = CellId::new(c, r);

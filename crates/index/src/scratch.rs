@@ -50,14 +50,30 @@ impl MatchScratch {
         &self.results
     }
 
+    /// Sizes the visit array for a slab of `slots` slots. Called once per
+    /// batch by the batched path (the slab cannot grow mid-batch, so the
+    /// per-object work reduces to the epoch bump of
+    /// [`MatchScratch::next_epoch`]).
+    #[inline]
+    pub(crate) fn begin_batch(&mut self, slots: usize) {
+        if self.visited.len() < slots {
+            self.visited.resize(slots, 0);
+        }
+    }
+
+    /// Starts a new object's dedup scope: stale visit stamps stop matching
+    /// the current epoch.
+    #[inline]
+    pub(crate) fn next_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
     /// Starts a new object: bumps the dedup epoch and sizes the visit array
     /// for a slab of `slots` slots.
     #[inline]
     pub(crate) fn begin_object(&mut self, slots: usize) {
-        if self.visited.len() < slots {
-            self.visited.resize(slots, 0);
-        }
-        self.epoch += 1;
+        self.begin_batch(slots);
+        self.next_epoch();
     }
 
     /// Marks a slot as visited for the current object; returns `true` on the

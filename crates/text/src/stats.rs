@@ -16,7 +16,7 @@ use crate::vocab::TermId;
 use serde::{Deserialize, Serialize};
 
 /// Document-frequency statistics for interned terms.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TermStats {
     /// `counts[term.index()]` = number of objects containing the term.
     counts: Vec<u64>,
@@ -42,9 +42,12 @@ impl TermStats {
         }
     }
 
-    /// Records a whole batch of objects' term lists in one call (the batched
-    /// observation entry point of the worker's `match_batch` hot loop — one
-    /// statistics update per input batch instead of one per object).
+    /// Records a whole batch of objects' term lists in one call. Equivalent
+    /// to calling [`TermStats::observe`] per document (pinned by the
+    /// `observe_batch_equals_repeated_observe` property). The GI² batch
+    /// matcher deliberately does **not** use this: a separate observation
+    /// pass over a batch walks every term slice twice, so it observes inside
+    /// its per-object match loop instead.
     pub fn observe_batch<'a, I>(&mut self, docs: I)
     where
         I: Iterator<Item = &'a [TermId]>,

@@ -114,9 +114,16 @@ impl WorkloadDriver {
     }
 
     /// Mutable access to the query generator (used by the drifting-workload
-    /// experiment to flip Q3 regions mid-run).
+    /// experiment to flip Q3 regions mid-run and by the churn-storm scenario
+    /// to mint burst queries with globally unique ids).
     pub fn query_generator_mut(&mut self) -> &mut QueryGenerator {
         &mut self.queries
+    }
+
+    /// The corpus generator feeding the object stream (the scenario overlays
+    /// read its bounds and vocabulary).
+    pub fn corpus(&self) -> &CorpusGenerator {
+        &self.corpus
     }
 
     /// Pre-populates the system with `n` query insertions (the warm-up the
