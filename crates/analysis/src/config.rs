@@ -7,6 +7,7 @@
 //! hot <path> <fn> [<fn> …]       # declare allocation-free hot functions
 //! lock-order <path>              # file whose nested shard locks are checked
 //! operator-path <path-prefix>    # operator code for sim-determinism scope
+//! persist-path <path-prefix>     # durable-storage code (durability-discipline scope)
 //! allow <rule> <path> <item> :: <justification>
 //! ```
 //!
@@ -40,6 +41,9 @@ pub struct Config {
     pub lock_order_files: Vec<String>,
     /// Path prefixes holding operator code (sim-determinism scope).
     pub operator_paths: Vec<String>,
+    /// Path prefixes holding durable-storage code (durability-discipline
+    /// framed-write scope).
+    pub persist_paths: Vec<String>,
     /// Audited exemptions.
     pub allows: Vec<AllowEntry>,
 }
@@ -82,6 +86,12 @@ impl Config {
                         .next()
                         .ok_or_else(|| format!("line {line_no}: `operator-path` needs a prefix"))?;
                     cfg.operator_paths.push(path.to_string());
+                }
+                "persist-path" => {
+                    let path = words
+                        .next()
+                        .ok_or_else(|| format!("line {line_no}: `persist-path` needs a prefix"))?;
+                    cfg.persist_paths.push(path.to_string());
                 }
                 "allow" => {
                     // the separator is ` :: ` with spaces — item keys like
@@ -127,6 +137,13 @@ impl Config {
     /// True if `path` is under any declared operator-code prefix.
     pub fn is_operator_path(&self, path: &str) -> bool {
         self.operator_paths
+            .iter()
+            .any(|p| path.starts_with(p.as_str()))
+    }
+
+    /// True if `path` is under any declared persist-code prefix.
+    pub fn is_persist_path(&self, path: &str) -> bool {
+        self.persist_paths
             .iter()
             .any(|p| path.starts_with(p.as_str()))
     }

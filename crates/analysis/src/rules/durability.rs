@@ -1,0 +1,174 @@
+//! `durability-discipline`: persistence code writes through the framed
+//! writer, and every fsync states why it is there.
+//!
+//! The durability layer's recovery invariant (longest-valid-prefix replay)
+//! holds only if *every* byte in the operation log and the snapshots went
+//! through the length-prefixed, CRC-framed writer — a bare `write_all` of
+//! unframed bytes in a persist path silently produces a file the recovery
+//! scanner will truncate at. And the placement of each `sync_all` /
+//! `sync_data` / `fsync` call is itself a correctness argument (what must be
+//! on disk before what), so each call site carries a `// DURABILITY:`
+//! comment stating the ordering it enforces, exactly as `unsafe` carries
+//! `// SAFETY:`. Files under a `persist-path <prefix>` directive are the
+//! framed-write scope; the fsync-comment requirement is workspace-wide.
+
+use super::Rule;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+
+/// How many lines above the call an attached comment may start (mirrors the
+/// `unsafe-audit` window).
+const ATTACH_WINDOW: u32 = 3;
+
+/// Methods that force data to stable storage.
+const FSYNC_METHODS: &[&str] = &["sync_all", "sync_data", "fsync"];
+
+/// See module docs.
+pub struct DurabilityDiscipline;
+
+impl Rule for DurabilityDiscipline {
+    fn name(&self) -> &'static str {
+        "durability-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "persist paths write via the framed writer; every fsync call carries a DURABILITY comment"
+    }
+
+    fn check_file(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        for i in 0..file.code_len() {
+            if file.is_test_code(i) {
+                continue;
+            }
+            let Some(name) = file.ident_at(i) else {
+                continue;
+            };
+            // only method/path calls: `.name(` or `::name(`
+            let called = i + 1 < file.code_len()
+                && file.is_punct(i + 1, "(")
+                && i > 0
+                && (file.is_punct(i - 1, ".") || file.is_punct(i - 1, "::"));
+            if !called {
+                continue;
+            }
+            if name == "write_all" && cfg.is_persist_path(&file.rel_path) {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: file.line_of(i),
+                    item: "write_all".to_string(),
+                    message: "bare `write_all` in a persist path: recovery only understands \
+                              framed records — write through the framed writer (or carry an \
+                              audited allow if this *is* the framed writer)"
+                        .to_string(),
+                });
+            }
+            if FSYNC_METHODS.contains(&name) && !has_durability_comment(file, i) {
+                out.push(Diagnostic {
+                    rule: self.name(),
+                    path: file.rel_path.clone(),
+                    line: file.line_of(i),
+                    item: name.to_string(),
+                    message: format!(
+                        "`{name}` without a `// DURABILITY:` comment stating the write-ordering \
+                         it enforces"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// A comment mentioning DURABILITY ends within the window just above the
+/// call (or on the same line).
+fn has_durability_comment(file: &SourceFile, code_idx: usize) -> bool {
+    let line = file.line_of(code_idx);
+    file.tokens.iter().any(|t| {
+        t.is_comment()
+            && t.line <= line
+            && t.line + ATTACH_WINDOW >= line
+            && t.text.contains("DURABILITY")
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let cfg = Config::parse("persist-path crates/persist/src\n").unwrap();
+        let file = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        DurabilityDiscipline.check_file(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn bare_write_all_in_a_persist_path_is_flagged() {
+        let diags = run(
+            "crates/persist/src/oplog.rs",
+            "fn dump(&mut self) { self.file.write_all(&self.buf).unwrap(); }\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].item, "write_all");
+    }
+
+    #[test]
+    fn write_all_outside_persist_paths_is_not_this_rules_business() {
+        let diags = run(
+            "crates/bench/src/json.rs",
+            "fn dump(&mut self) { self.file.write_all(&self.buf).unwrap(); }\n",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn undocumented_fsync_is_flagged_everywhere() {
+        let diags = run(
+            "crates/bench/src/json.rs",
+            "fn publish(f: &File) { f.sync_all().unwrap(); }\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].item, "sync_all");
+    }
+
+    #[test]
+    fn documented_fsync_passes_and_builder_write_is_ignored() {
+        let diags = run(
+            "crates/persist/src/oplog.rs",
+            r#"
+            fn reopen(path: &Path) -> File {
+                let f = OpenOptions::new().write(true).open(path).unwrap();
+                // DURABILITY: truncation must be on disk before new appends
+                // extend the file.
+                f.sync_all().unwrap();
+                f
+            }
+            "#,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn the_window_does_not_reach_across_unrelated_code() {
+        let diags = run(
+            "crates/persist/src/frame.rs",
+            r#"
+            fn a(f: &File) {
+                // DURABILITY: belongs to the call below.
+                f.sync_all().unwrap();
+            }
+            fn far(f: &File) {
+                let x = 1;
+                let y = 2;
+                let z = x + y;
+                f.sync_data().unwrap();
+            }
+            "#,
+        );
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].item, "sync_data");
+    }
+}

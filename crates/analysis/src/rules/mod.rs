@@ -2,6 +2,7 @@
 //! workspace invariant (see `docs/ANALYSIS.md`).
 
 pub mod channel_discipline;
+pub mod durability;
 pub mod env_doc;
 pub mod lock_order;
 pub mod no_alloc_hot;
@@ -46,5 +47,6 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(unsafe_audit::UnsafeAudit),
         Box::new(channel_discipline::ChannelDiscipline),
         Box::new(env_doc::EnvDoc),
+        Box::new(durability::DurabilityDiscipline),
     ]
 }

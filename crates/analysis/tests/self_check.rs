@@ -63,7 +63,14 @@ fn seeded_fixture_tree_trips_every_rule() {
         "ps2lint.allow",
         "hot crates/fix/src/hot.rs hot_fn\n\
          lock-order crates/fix/src/locks.rs\n\
-         operator-path crates/fix/src\n",
+         operator-path crates/fix/src\n\
+         persist-path crates/fix/src/persist\n",
+    );
+    std::fs::create_dir_all(dir.join("crates/fix/src/persist")).unwrap();
+    write(
+        &dir,
+        "crates/fix/src/persist/log.rs",
+        "fn append(&mut self) { self.file.write_all(&self.raw).unwrap(); self.file.sync_all().unwrap(); }\n",
     );
     write(
         &dir,
@@ -127,6 +134,7 @@ fn seeded_fixture_tree_trips_every_rule() {
         "[unsafe-audit]",
         "[channel-discipline]",
         "[env-doc-drift]",
+        "[durability-discipline]",
     ] {
         assert!(stdout.contains(rule), "{rule} did not fire:\n{stdout}");
     }

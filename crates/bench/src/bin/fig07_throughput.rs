@@ -55,6 +55,23 @@ fn run_panel(
                     JsonValue::Int(report.migration_bytes as i64),
                 ),
             ]);
+            // durability cost + recovery-probe columns (all-zero unless
+            // the run was started with --durable)
+            let p = report.persistence.clone().unwrap_or_default();
+            json_rows.last_mut().unwrap().extend([
+                ("ops_logged", JsonValue::Int(p.ops_logged as i64)),
+                ("log_bytes", JsonValue::Int(p.log_bytes as i64)),
+                ("snapshot_bytes", JsonValue::Int(p.snapshot_bytes as i64)),
+                (
+                    "snapshots_written",
+                    JsonValue::Int(p.snapshots_written as i64),
+                ),
+                ("recovered_ops", JsonValue::Int(p.recovered_ops as i64)),
+                (
+                    "replay_ms",
+                    JsonValue::Float(p.replay_time.as_secs_f64() * 1e3),
+                ),
+            ]);
         }
     }
     print_table(
@@ -116,6 +133,7 @@ fn main() {
                 ("scale_factor", JsonValue::Float(Scale::factor())),
                 ("scenario", JsonValue::Str(knobs.scenario_name())),
                 ("knobs", JsonValue::Str(knobs.describe())),
+                ("durable", JsonValue::Int(knobs.durable as i64)),
             ],
             &json_rows,
         )

@@ -134,6 +134,8 @@ pub struct Experiment {
     /// Adversarial scenario overlaid on the measured stream (None = the
     /// paper's steady-state mix).
     pub scenario: Option<Scenario>,
+    /// Durable-subscription store configuration (None = in-memory only).
+    pub durability: Option<StoreConfig>,
     /// Random seed.
     pub seed: u64,
 }
@@ -159,6 +161,7 @@ impl Experiment {
             runtime: None,
             pinning: None,
             scenario: None,
+            durability: None,
             seed: 42,
         }
     }
@@ -201,6 +204,13 @@ impl Experiment {
         self
     }
 
+    /// Enables the durable subscription store (op log + snapshots in
+    /// `store.dir`; see `SystemConfig::durability`).
+    pub fn with_durability(mut self, store: StoreConfig) -> Self {
+        self.durability = Some(store);
+        self
+    }
+
     /// Runs the experiment: partition on a calibration sample, register the
     /// initial query population, drive the measured stream, and return the
     /// run report.
@@ -234,6 +244,10 @@ impl Experiment {
         };
         let config = match self.pinning {
             Some(pinning) => config.with_pinning(pinning),
+            None => config,
+        };
+        let config = match self.durability {
+            Some(store) => config.with_durability(store),
             None => config,
         };
         let mut system = Ps2StreamBuilder::new(config)
@@ -392,6 +406,11 @@ pub struct RunKnobs {
     /// load adjustment (the controller's reaction is the thing being
     /// measured).
     pub scenario: Option<Scenario>,
+    /// `--durable`: append every query update to an op log (plus periodic
+    /// snapshots) in a per-run temp directory, and probe recovery
+    /// afterwards. Durability cost shows up in the throughput/latency
+    /// columns; log/snapshot sizes and replay time land in the JSON rows.
+    pub durable: bool,
 }
 
 impl RunKnobs {
@@ -402,13 +421,14 @@ impl RunKnobs {
             runtime: runtime_arg(),
             pinning: pin_arg(),
             scenario: scenario_arg(),
+            durable: durable_arg(),
         }
     }
 
     /// Renders the knob line printed in each figure header.
     pub fn describe(&self) -> String {
         format!(
-            "--batch {}; --runtime {}; pinning {}; scenario {}",
+            "--batch {}; --runtime {}; pinning {}; scenario {}; durable {}",
             self.batch.map_or("default".to_string(), |b| b.to_string()),
             self.runtime
                 .as_ref()
@@ -417,6 +437,7 @@ impl RunKnobs {
                 .map_or("default".to_string(), |p| p.to_string()),
             self.scenario
                 .map_or("steady-state".to_string(), |s| s.name().to_string()),
+            self.durable,
         )
     }
 
@@ -459,7 +480,44 @@ pub fn headline_report_batched(
                 ..AdjustmentConfig::default()
             });
     }
-    experiment.run()
+    if !knobs.durable {
+        return experiment.run();
+    }
+    let dir = fresh_durability_dir();
+    // snapshot a handful of times per run regardless of PS2_SCALE, so the
+    // JSON artifact always carries a real snapshot size
+    let snapshot_every = (scale.queries as u64 / 4).max(256);
+    experiment = experiment
+        .with_durability(StoreConfig::new(&dir).with_snapshot_every(Some(snapshot_every)));
+    let mut report = experiment.run();
+    // recovery probe: reopen what the run left on disk and time the decode
+    // of snapshot + log tail — the state-reconstruction cost a restart pays
+    // before it can route again
+    let (probe, recovered) = PersistentStore::open(StoreConfig::new(&dir))
+        .expect("reopen the durability directory for the recovery probe");
+    let replay_start = std::time::Instant::now();
+    let replayed = recovered.replay_updates().count() as u64;
+    let replay_time = replay_start.elapsed();
+    drop(probe);
+    if let Some(p) = &mut report.persistence {
+        p.recovered_ops = replayed;
+        p.replay_time = replay_time;
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    report
+}
+
+/// A unique, empty temp directory for one `--durable` run.
+fn fresh_durability_dir() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "ps2bench-durable-{}-{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
 }
 
 /// Parses a `--batch N` argument from the process command line (the batching
@@ -505,6 +563,14 @@ pub fn runtime_arg() -> Option<RuntimeBackend> {
 /// `PS2_PIN`).
 pub fn pin_arg() -> Option<bool> {
     std::env::args().any(|a| a == "--pin").then_some(true)
+}
+
+/// Parses a `--durable` flag (the persistence knob of the fig07/fig08
+/// binaries): present means every query update is op-logged and
+/// periodically snapshotted to a per-run temp directory (fsync policy from
+/// `PS2_FSYNC`), with a recovery probe after the run.
+pub fn durable_arg() -> bool {
+    std::env::args().any(|a| a == "--durable")
 }
 
 /// Parses a `--scenario <name>` argument (the adversarial-workload knob of

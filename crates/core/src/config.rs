@@ -1,6 +1,7 @@
 //! System configuration.
 
 use ps2stream_partition::CostConstants;
+use ps2stream_persist::StoreConfig;
 use ps2stream_stream::RuntimeBackend;
 
 /// Which Minimum Cost Migration selector the dynamic load adjustment uses.
@@ -116,6 +117,13 @@ pub struct SystemConfig {
     /// single-node machine, the layout is the flat sharding and this knob
     /// overrides the flat shard count.
     pub numa_shards: Option<usize>,
+    /// Durable subscriptions: when set, every query insert/delete is written
+    /// to the operation log in the given directory before it is routed, and
+    /// launching the system first recovers (and replays) whatever the
+    /// directory already holds. `None` (the default) keeps the historical
+    /// in-memory-only behaviour. The store's fsync policy honours
+    /// `PS2_FSYNC` (`always` | `every:<n>` | `never`).
+    pub durability: Option<StoreConfig>,
 }
 
 impl Default for SystemConfig {
@@ -133,6 +141,7 @@ impl Default for SystemConfig {
             runtime: RuntimeBackend::from_env().unwrap_or_default(),
             pinning: pinning_from_env(),
             numa_shards: None,
+            durability: None,
         }
     }
 }
@@ -195,6 +204,13 @@ impl SystemConfig {
     /// (`None` = size from the detected topology).
     pub fn with_numa_shards(mut self, shards: Option<usize>) -> Self {
         self.numa_shards = shards;
+        self
+    }
+
+    /// Enables durable subscriptions backed by the given store configuration
+    /// (see [`SystemConfig::durability`]).
+    pub fn with_durability(mut self, store: StoreConfig) -> Self {
+        self.durability = Some(store);
         self
     }
 }

@@ -70,13 +70,15 @@ pub mod system;
 pub mod worker;
 
 pub use config::{AdjustmentConfig, SelectorKind, SystemConfig};
-pub use metrics::{RunReport, SystemMetrics};
+pub use messages::WorkerCheckpoint;
+pub use metrics::{PersistenceReport, RunReport, SystemMetrics};
 pub use system::{Ps2StreamBuilder, RunningSystem};
 
 /// Convenient re-exports for building and driving a PS2Stream deployment.
 pub mod prelude {
     pub use crate::config::{AdjustmentConfig, SelectorKind, SystemConfig};
-    pub use crate::metrics::{RunReport, SystemMetrics};
+    pub use crate::messages::WorkerCheckpoint;
+    pub use crate::metrics::{PersistenceReport, RunReport, SystemMetrics};
     pub use crate::system::{Ps2StreamBuilder, RunningSystem};
     pub use ps2stream_geo::{Point, Rect};
     pub use ps2stream_model::{
@@ -88,6 +90,7 @@ pub mod prelude {
         HypergraphPartitioner, KdTreePartitioner, MetricPartitioner, Partitioner, RTreePartitioner,
         RoutingTable, WorkloadSample,
     };
+    pub use ps2stream_persist::{FsyncPolicy, PersistentStore, StoreConfig};
     pub use ps2stream_stream::{
         CoopConfig, CpuTopology, Placement, PlacementPolicy, RuntimeBackend,
     };

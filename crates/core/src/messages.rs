@@ -52,6 +52,15 @@ pub enum WorkerMessage {
         /// Channel on which to send the report.
         reply: Sender<WorkerStatsReport>,
     },
+    /// Control: serialize the worker's GI² index in canonical form (see
+    /// `ps2stream_index::snapshot`) and reply with the bytes. Used by the
+    /// durability layer to capture per-worker index state, and by the
+    /// recovery tests to compare a recovered worker against a freshly routed
+    /// one.
+    Checkpoint {
+        /// Channel on which to send the serialized index.
+        reply: Sender<WorkerCheckpoint>,
+    },
     /// Control: drain and terminate.
     Shutdown,
 }
@@ -63,6 +72,15 @@ pub enum MergerMessage {
     /// record is the envelope of one object's matches (carrying that object's
     /// ingestion timestamp for latency accounting).
     Matches(Batch<Vec<MatchResult>>),
+}
+
+/// A worker's answer to [`WorkerMessage::Checkpoint`].
+#[derive(Debug, Clone)]
+pub struct WorkerCheckpoint {
+    /// The replying worker.
+    pub worker: WorkerId,
+    /// Canonical index serialization (`Gi2Index::snapshot_bytes`).
+    pub index_bytes: Vec<u8>,
 }
 
 /// A worker's answer to [`WorkerMessage::CollectStats`].

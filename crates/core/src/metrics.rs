@@ -80,6 +80,28 @@ impl SystemMetrics {
     }
 }
 
+/// Durability accounting of a run launched with
+/// `SystemConfig::with_durability` (absent otherwise).
+#[derive(Debug, Clone, Default)]
+pub struct PersistenceReport {
+    /// Operations recovered from the store (snapshot + log replay) when the
+    /// system launched.
+    pub recovered_ops: u64,
+    /// Bytes of torn/corrupt log tail truncated during recovery.
+    pub truncated_bytes: u64,
+    /// Wall-clock time spent replaying the recovered updates through the
+    /// normal routing path at launch.
+    pub replay_time: Duration,
+    /// Operations appended to the log during this run.
+    pub ops_logged: u64,
+    /// Durable log size at shutdown, in bytes.
+    pub log_bytes: u64,
+    /// Size of the newest snapshot, in bytes (0 when none was written).
+    pub snapshot_bytes: u64,
+    /// Snapshots written during this run.
+    pub snapshots_written: u64,
+}
+
 /// The report produced when a run finishes.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -117,6 +139,9 @@ pub struct RunReport {
     pub migration_selection_time: Duration,
     /// Time spent executing migrations.
     pub migration_time: Duration,
+    /// Durability accounting (`Some` only for runs with durable
+    /// subscriptions enabled; filled at shutdown).
+    pub persistence: Option<PersistenceReport>,
 }
 
 impl RunReport {
@@ -158,6 +183,7 @@ impl RunReport {
             migration_time: Duration::from_micros(
                 metrics.migration.migration_time_us.load(Ordering::Relaxed),
             ),
+            persistence: None,
         }
     }
 

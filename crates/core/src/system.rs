@@ -11,20 +11,22 @@ use crate::config::SystemConfig;
 use crate::controller::{AdjustmentController, ControllerTask};
 use crate::dispatcher::Dispatcher;
 use crate::merger::Merger;
-use crate::messages::{MergerMessage, WorkerMessage};
-use crate::metrics::{RunReport, SystemMetrics};
+use crate::messages::{MergerMessage, WorkerCheckpoint, WorkerMessage};
+use crate::metrics::{PersistenceReport, RunReport, SystemMetrics};
 use crate::worker::Worker;
 use parking_lot::RwLock;
 use ps2stream_index::{Gi2Config, Gi2Index};
 use ps2stream_model::{MatchResult, StreamRecord};
 use ps2stream_partition::{HybridPartitioner, Partitioner, RoutingTable, WorkloadSample};
+use ps2stream_persist::PersistentStore;
 use ps2stream_stream::{
-    Batch, BatchingEmitter, CpuTopology, Emitter, Envelope, PlacementPolicy, Runtime, Sender,
-    TaskHandle,
+    bounded, Batch, BatchingEmitter, CpuTopology, Emitter, Envelope, PlacementPolicy, Runtime,
+    Sender, TaskHandle,
 };
 use ps2stream_text::TermStats;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Builds a PS2Stream deployment.
 pub struct Ps2StreamBuilder {
@@ -120,6 +122,16 @@ pub struct RunningSystem {
     dispatchers: Vec<TaskHandle>,
     workers: Vec<TaskHandle>,
     mergers: Vec<TaskHandle>,
+    /// Durable subscription store (`SystemConfig::durability`); every query
+    /// update is logged here *before* it travels, so after a crash the
+    /// subscription set is recoverable even though the workers are gone.
+    store: Option<PersistentStore>,
+    /// Operations recovered and replayed when the system launched.
+    recovered_ops: u64,
+    /// Torn log-tail bytes truncated during recovery.
+    truncated_bytes: u64,
+    /// Time spent replaying the recovered updates at launch.
+    replay_time: Duration,
 }
 
 impl RunningSystem {
@@ -155,6 +167,24 @@ impl RunningSystem {
         let bounds = routing.grid().bounds();
         let routing = Arc::new(RwLock::new(routing));
         let old_routing: Arc<RwLock<Option<RoutingTable>>> = Arc::new(RwLock::new(None));
+
+        // Durable subscriptions: open (and recover) the store before the
+        // workers spawn, so a recovered snapshot's term statistics can stand
+        // in for the calibration stats when no sample was provided. The
+        // recovered updates themselves are replayed after the topology is up
+        // (end of this function), through the normal dispatch path.
+        let mut store_state = config.durability.clone().map(|store_config| {
+            PersistentStore::open(store_config).expect("open the durable subscription store")
+        });
+        let seed_stats = seed_stats.or_else(|| {
+            store_state
+                .as_ref()
+                .and_then(|(_, recovered)| recovered.snapshot.as_ref())
+                .map(|snapshot| snapshot.stats.clone())
+        });
+        if let (Some((store, _)), Some(stats)) = (&mut store_state, &seed_stats) {
+            store.set_stats(stats.clone());
+        }
 
         // channels (capacities apply on the thread backend; the cooperative
         // backends make every channel unbounded so tasks never block)
@@ -258,7 +288,7 @@ impl RunningSystem {
             }
         });
 
-        Self {
+        let mut system = Self {
             input: Some(BatchingEmitter::new(
                 Emitter::new(vec![input_tx]),
                 config.batch_size,
@@ -274,7 +304,30 @@ impl RunningSystem {
             dispatchers,
             workers,
             mergers,
+            store: None,
+            recovered_ops: 0,
+            truncated_bytes: 0,
+            replay_time: Duration::ZERO,
+        };
+
+        // Replay whatever the store recovered: import the snapshot's term
+        // registry (belt and braces — routing the inserts rebuilds it too),
+        // then push the recovered updates through the normal input path
+        // without re-logging them.
+        if let Some((store, recovered)) = store_state.take() {
+            if let Some(snapshot) = &recovered.snapshot {
+                system.routing.read().import_registry(&snapshot.registry);
+            }
+            let replay_start = Instant::now();
+            for update in recovered.replay_updates() {
+                system.send_unlogged(StreamRecord::Update(update));
+            }
+            system.replay_time = replay_start.elapsed();
+            system.recovered_ops = recovered.num_ops() as u64;
+            system.truncated_bytes = recovered.truncated_bytes;
+            system.store = Some(store);
         }
+        system
     }
 
     /// Feeds one record into the system. Records are stamped immediately but
@@ -282,7 +335,29 @@ impl RunningSystem {
     /// when the input channel is full (this is the saturation point used for
     /// throughput measurements). Call [`RunningSystem::flush`] to push out a
     /// partial batch.
+    /// With durability enabled, query updates are appended to the operation
+    /// log *before* they travel — a record the caller saw accepted is
+    /// recoverable (subject to the configured fsync policy) even if the
+    /// process dies immediately afterwards. Objects are transient stream
+    /// data and are never logged.
     pub fn send(&mut self, record: StreamRecord) {
+        if let (Some(store), StreamRecord::Update(update)) = (&mut self.store, &record) {
+            let snapshot_due = store
+                .log_update(update)
+                .expect("append to the subscription op log");
+            if snapshot_due {
+                let registry = self.routing.read().registry_export();
+                store
+                    .snapshot_now(registry)
+                    .expect("write a subscription snapshot");
+            }
+        }
+        self.send_unlogged(record);
+    }
+
+    /// The input path proper: stamps, sequences and emits one record. Also
+    /// used to replay recovered updates, which must not be re-logged.
+    fn send_unlogged(&mut self, record: StreamRecord) {
         self.records_in += 1;
         self.sequence += 1;
         if let Some(input) = &mut self.input {
@@ -319,7 +394,31 @@ impl RunningSystem {
     /// actually runs: each join below advances *all* alive executors until
     /// the joined group terminates, so migrations still land in the middle
     /// of the stream being drained.
-    pub fn finish(mut self) -> RunReport {
+    pub fn finish(self) -> RunReport {
+        self.shutdown(false).0
+    }
+
+    /// Like [`RunningSystem::finish`], additionally asking every worker for
+    /// a canonical serialization of its final GI² index (sorted by worker
+    /// id). The crash-recovery tests use this to prove that a recovered
+    /// deployment converges to the same per-worker index state as a freshly
+    /// routed one.
+    pub fn finish_with_checkpoints(self) -> (RunReport, Vec<WorkerCheckpoint>) {
+        self.shutdown(true)
+    }
+
+    /// Simulates a hard process kill for the crash-injection tests: every
+    /// executor is abandoned without draining — in-flight records and
+    /// in-memory index state are lost, exactly as a real kill would lose
+    /// them — and the durable store keeps only the log bytes already handed
+    /// to the OS. Returns the number of buffered log bytes that died in the
+    /// process (0 under `FsyncPolicy::Always`).
+    pub fn crash(mut self) -> usize {
+        self.controller_stop.store(true, Ordering::Relaxed);
+        self.store.take().map_or(0, PersistentStore::crash)
+    }
+
+    fn shutdown(mut self, checkpoints: bool) -> (RunReport, Vec<WorkerCheckpoint>) {
         // 1. flush the partial input batch, then close the input: dispatchers
         //    drain and terminate
         self.flush();
@@ -331,7 +430,17 @@ impl RunningSystem {
         if let Some(c) = self.controller.take() {
             self.runtime.join_tasks(&[c]);
         }
-        // 3. tell the workers to drain and stop
+        // 3. tell the workers to drain and stop; checkpoint requests are
+        //    queued first so each worker serializes its final index while
+        //    draining (each worker replies at most once, so the reply
+        //    channel can never block the workers)
+        let checkpoint_rx = checkpoints.then(|| {
+            let (tx, rx) = bounded::<WorkerCheckpoint>(self.worker_txs.len().max(1));
+            for wtx in &self.worker_txs {
+                let _ = wtx.send(WorkerMessage::Checkpoint { reply: tx.clone() });
+            }
+            rx
+        });
         for tx in &self.worker_txs {
             let _ = tx.send(WorkerMessage::Shutdown);
         }
@@ -344,7 +453,25 @@ impl RunningSystem {
         self.metrics
             .dispatcher_memory
             .store(self.routing.read().memory_usage(), Ordering::Relaxed);
-        RunReport::from_metrics(&self.metrics, self.records_in)
+        let mut collected: Vec<WorkerCheckpoint> =
+            checkpoint_rx.map_or_else(Vec::new, |rx| rx.try_iter().collect());
+        collected.sort_by_key(|c| c.worker.0);
+        let mut report = RunReport::from_metrics(&self.metrics, self.records_in);
+        if let Some(mut store) = self.store.take() {
+            // DURABILITY: a clean shutdown leaves the entire log on disk —
+            // the next launch recovers from it without loss.
+            store.sync().expect("sync the subscription op log");
+            report.persistence = Some(PersistenceReport {
+                recovered_ops: self.recovered_ops,
+                truncated_bytes: self.truncated_bytes,
+                replay_time: self.replay_time,
+                ops_logged: store.ops_logged(),
+                log_bytes: store.log_bytes(),
+                snapshot_bytes: store.snapshot_bytes(),
+                snapshots_written: store.snapshots_written(),
+            });
+        }
+        (report, collected)
     }
 }
 

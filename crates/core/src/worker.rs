@@ -23,7 +23,7 @@
 //! because a query may span cells that are not in hand-off, and delaying it
 //! would un-index it from those cells' perspective.
 
-use crate::messages::{MergerMessage, WorkerMessage, WorkerStatsReport};
+use crate::messages::{MergerMessage, WorkerCheckpoint, WorkerMessage, WorkerStatsReport};
 use crate::metrics::SystemMetrics;
 use ps2stream_balance::{CellLoadInfo, TermLoad};
 use ps2stream_geo::CellId;
@@ -397,6 +397,12 @@ impl Operator for Worker {
             WorkerMessage::MigrateIn { cell, queries } => self.handle_migrate_in(cell, queries),
             WorkerMessage::CollectStats { reply } => {
                 let _ = reply.send(self.stats_report());
+            }
+            WorkerMessage::Checkpoint { reply } => {
+                let _ = reply.send(WorkerCheckpoint {
+                    worker: self.id,
+                    index_bytes: self.index.snapshot_bytes(),
+                });
             }
             WorkerMessage::Shutdown => {
                 // Hand-offs still owed to this worker will complete (the

@@ -41,7 +41,7 @@ use ps2stream_model::{MatchResult, QueryId, SpatioTextualObject, StsQuery};
 use ps2stream_text::{terms_signature, TermStats};
 
 /// Configuration of a GI² index.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Gi2Config {
     /// Bounding rectangle of the indexed space.
     pub bounds: Rect,

@@ -37,11 +37,13 @@ pub mod cell;
 pub mod gi2;
 pub mod scratch;
 pub mod slab;
+pub mod snapshot;
 
 pub use cell::{CellIndex, CellTermStat};
 pub use gi2::{CellLoadStat, Gi2Config, Gi2Index};
 pub use scratch::MatchScratch;
 pub use slab::SlotId;
+pub use snapshot::{decode_snapshot, SnapshotParts};
 
 #[cfg(test)]
 mod proptests {

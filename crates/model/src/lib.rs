@@ -10,6 +10,7 @@
 pub mod object;
 pub mod query;
 pub mod record;
+pub mod wire;
 
 pub use object::{ObjectId, SpatioTextualObject};
 pub use query::{QueryId, QueryUpdate, StsQuery, SubscriberId};

@@ -1,0 +1,316 @@
+//! Fixed-layout binary encoding of the durable model types.
+//!
+//! The persistence layer (`ps2stream-persist`) frames every operation-log
+//! record and snapshot entry as raw bytes; this module defines what those
+//! bytes are. The encoding is deliberately *not* serde-based: it is a
+//! little-endian, length-prefixed layout that is stable across builds,
+//! byte-for-byte reproducible (the recovery tests compare files), and
+//! decodable from an arbitrary — possibly torn — byte slice without panicking.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! Point       := x:f64  y:f64
+//! Rect        := min:Point  max:Point
+//! BooleanExpr := nclauses:u32  { nterms:u32 { term:u32 }* }*
+//! StsQuery    := id:u64  subscriber:u64  Rect  BooleanExpr
+//! QueryUpdate := tag:u8 (1=Insert, 2=Delete)  StsQuery
+//! ```
+//!
+//! Decoders return [`WireError`] on truncation or malformed tags; they never
+//! panic and never allocate unbounded memory from attacker-controlled (i.e.
+//! torn-write) length fields.
+
+use crate::query::{QueryId, QueryUpdate, StsQuery, SubscriberId};
+use ps2stream_geo::{Point, Rect};
+use ps2stream_text::{BooleanExpr, TermId};
+
+/// Upper bound accepted for any decoded element count. Real queries have a
+/// handful of clauses; a count beyond this is torn-write garbage and must be
+/// rejected before it sizes an allocation.
+pub const MAX_COUNT: u32 = 1 << 20;
+
+/// Why a byte slice failed to decode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The slice ended before the value was complete.
+    Truncated,
+    /// An enum tag byte holds no known variant.
+    BadTag(u8),
+    /// A length field exceeds [`MAX_COUNT`] (torn-write garbage).
+    Oversize(u32),
+    /// Decoding finished with unconsumed bytes left over.
+    TrailingBytes(usize),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "record truncated"),
+            WireError::BadTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            WireError::Oversize(n) => write!(f, "implausible element count {n}"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after record"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A bounds-checked cursor over an encoded byte slice.
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// Starts reading at the beginning of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `f64`.
+    pub fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a count field, rejecting implausible values before they size an
+    /// allocation.
+    pub fn count(&mut self) -> Result<u32, WireError> {
+        let n = self.u32()?;
+        if n > MAX_COUNT {
+            return Err(WireError::Oversize(n));
+        }
+        Ok(n)
+    }
+}
+
+/// Appends a little-endian `u32`.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `u64`.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a little-endian `f64`.
+pub fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Encodes a [`Point`].
+pub fn encode_point(out: &mut Vec<u8>, p: &Point) {
+    put_f64(out, p.x);
+    put_f64(out, p.y);
+}
+
+/// Decodes a [`Point`].
+pub fn decode_point(r: &mut WireReader<'_>) -> Result<Point, WireError> {
+    Ok(Point::new(r.f64()?, r.f64()?))
+}
+
+/// Encodes a [`Rect`].
+pub fn encode_rect(out: &mut Vec<u8>, rect: &Rect) {
+    encode_point(out, &rect.min);
+    encode_point(out, &rect.max);
+}
+
+/// Decodes a [`Rect`].
+pub fn decode_rect(r: &mut WireReader<'_>) -> Result<Rect, WireError> {
+    let min = decode_point(r)?;
+    let max = decode_point(r)?;
+    Ok(Rect { min, max })
+}
+
+/// Encodes a [`BooleanExpr`] as its DNF clause list.
+pub fn encode_expr(out: &mut Vec<u8>, expr: &BooleanExpr) {
+    let clauses = expr.conjunctions();
+    put_u32(out, clauses.len() as u32);
+    for clause in clauses {
+        put_u32(out, clause.len() as u32);
+        for t in clause {
+            put_u32(out, t.0);
+        }
+    }
+}
+
+/// Decodes a [`BooleanExpr`].
+pub fn decode_expr(r: &mut WireReader<'_>) -> Result<BooleanExpr, WireError> {
+    let nclauses = r.count()?;
+    let mut clauses = Vec::with_capacity(nclauses as usize);
+    for _ in 0..nclauses {
+        let nterms = r.count()?;
+        let mut clause = Vec::with_capacity(nterms as usize);
+        for _ in 0..nterms {
+            clause.push(TermId(r.u32()?));
+        }
+        clauses.push(clause);
+    }
+    Ok(BooleanExpr::from_dnf(clauses))
+}
+
+/// Encodes an [`StsQuery`].
+pub fn encode_query(out: &mut Vec<u8>, q: &StsQuery) {
+    put_u64(out, q.id.0);
+    put_u64(out, q.subscriber.0);
+    encode_rect(out, &q.region);
+    encode_expr(out, &q.keywords);
+}
+
+/// Decodes an [`StsQuery`].
+pub fn decode_query(r: &mut WireReader<'_>) -> Result<StsQuery, WireError> {
+    let id = QueryId(r.u64()?);
+    let subscriber = SubscriberId(r.u64()?);
+    let region = decode_rect(r)?;
+    let keywords = decode_expr(r)?;
+    Ok(StsQuery::new(id, subscriber, keywords, region))
+}
+
+/// `QueryUpdate::Insert` tag byte.
+pub const TAG_INSERT: u8 = 1;
+/// `QueryUpdate::Delete` tag byte.
+pub const TAG_DELETE: u8 = 2;
+
+/// Encodes a [`QueryUpdate`].
+pub fn encode_update(out: &mut Vec<u8>, update: &QueryUpdate) {
+    match update {
+        QueryUpdate::Insert(q) => {
+            out.push(TAG_INSERT);
+            encode_query(out, q);
+        }
+        QueryUpdate::Delete(q) => {
+            out.push(TAG_DELETE);
+            encode_query(out, q);
+        }
+    }
+}
+
+/// Decodes a [`QueryUpdate`].
+pub fn decode_update(r: &mut WireReader<'_>) -> Result<QueryUpdate, WireError> {
+    match r.u8()? {
+        TAG_INSERT => Ok(QueryUpdate::Insert(decode_query(r)?)),
+        TAG_DELETE => Ok(QueryUpdate::Delete(decode_query(r)?)),
+        tag => Err(WireError::BadTag(tag)),
+    }
+}
+
+/// Decodes a [`QueryUpdate`] that must span the whole slice exactly.
+pub fn decode_update_exact(buf: &[u8]) -> Result<QueryUpdate, WireError> {
+    let mut r = WireReader::new(buf);
+    let update = decode_update(&mut r)?;
+    if r.remaining() > 0 {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(update)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query(id: u64) -> StsQuery {
+        StsQuery::new(
+            QueryId(id),
+            SubscriberId(id.wrapping_mul(31)),
+            BooleanExpr::from_dnf([vec![TermId(3), TermId(9)], vec![TermId(7)]]),
+            Rect::from_coords(-1.25, 0.5, 3.75, 9.0),
+        )
+    }
+
+    #[test]
+    fn update_roundtrips() {
+        for update in [
+            QueryUpdate::Insert(sample_query(42)),
+            QueryUpdate::Delete(sample_query(7)),
+        ] {
+            let mut buf = Vec::new();
+            encode_update(&mut buf, &update);
+            let decoded = decode_update_exact(&buf).unwrap();
+            assert_eq!(decoded, update);
+        }
+    }
+
+    #[test]
+    fn every_truncation_errors_without_panicking() {
+        let mut buf = Vec::new();
+        encode_update(&mut buf, &QueryUpdate::Insert(sample_query(5)));
+        for len in 0..buf.len() {
+            let err = decode_update_exact(&buf[..len]).unwrap_err();
+            assert!(
+                matches!(err, WireError::Truncated),
+                "prefix of {len} bytes: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_tag_is_rejected() {
+        let mut buf = Vec::new();
+        encode_update(&mut buf, &QueryUpdate::Insert(sample_query(5)));
+        buf[0] = 0x77;
+        assert_eq!(decode_update_exact(&buf), Err(WireError::BadTag(0x77)));
+    }
+
+    #[test]
+    fn oversize_count_is_rejected_before_allocating() {
+        // tag + id + subscriber + rect, then a poisoned clause count
+        let mut buf = Vec::new();
+        buf.push(TAG_INSERT);
+        put_u64(&mut buf, 1);
+        put_u64(&mut buf, 1);
+        encode_rect(&mut buf, &Rect::from_coords(0.0, 0.0, 1.0, 1.0));
+        put_u32(&mut buf, u32::MAX);
+        assert_eq!(
+            decode_update_exact(&buf),
+            Err(WireError::Oversize(u32::MAX))
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        encode_update(&mut buf, &QueryUpdate::Delete(sample_query(9)));
+        buf.push(0);
+        assert_eq!(decode_update_exact(&buf), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        let update = QueryUpdate::Insert(sample_query(123));
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        encode_update(&mut a, &update);
+        encode_update(&mut b, &update);
+        assert_eq!(a, b);
+    }
+}

@@ -434,6 +434,39 @@ impl TermRegistry {
             .sum()
     }
 
+    /// Exports every registration in canonical order — home copies only
+    /// (replicas are re-promoted by traffic), cells ascending, each cell's
+    /// terms ascending. This is the form embedded in durability snapshots:
+    /// deterministic bytes regardless of shard layout or promotion history.
+    pub fn export_cells(&self) -> Vec<(u32, Vec<TermId>)> {
+        let mut out: Vec<(u32, Vec<TermId>)> = Vec::new();
+        for (g, group) in self.groups.iter().enumerate() {
+            for shard in &group.shards {
+                for (&cell, terms) in shard.read().iter() {
+                    if self.home_group(cell) != g {
+                        continue; // replica: the home copy is identical
+                    }
+                    let mut sorted: Vec<TermId> = terms.iter().copied().collect();
+                    sorted.sort_unstable();
+                    out.push((cell, sorted));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|(cell, _)| *cell);
+        out
+    }
+
+    /// Re-registers an exported registration set (idempotent — pairs already
+    /// present are left alone, so importing before a log replay that
+    /// re-inserts the same queries is harmless).
+    pub fn import_cells(&self, cells: &[(u32, Vec<TermId>)]) {
+        for (cell, terms) in cells {
+            for &t in terms {
+                self.insert(*cell, t);
+            }
+        }
+    }
+
     /// Approximate memory footprint in bytes (replicas included — they are
     /// real memory).
     pub fn memory_usage(&self) -> usize {
@@ -737,6 +770,46 @@ mod tests {
             let expected = (0..2_000u32).filter(|i| i % 32 == cell).count();
             assert_eq!(r.terms_of_cell(cell).len(), expected);
         }
+    }
+
+    #[test]
+    fn export_import_roundtrips_canonically() {
+        let r = TermRegistry::with_groups(32, 2, 8);
+        for i in 0..300u32 {
+            r.insert(i % 24, TermId(i % 61));
+        }
+        // promotions must not leak replicas into the export
+        on_node(1, || {
+            for _ in 0..(PROMOTE_REMOTE_HITS + 1) {
+                for cell in 0..24u32 {
+                    r.contains(cell, TermId(0));
+                }
+            }
+        });
+        let exported = r.export_cells();
+        let cells: Vec<u32> = exported.iter().map(|(c, _)| *c).collect();
+        let mut sorted = cells.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(cells, sorted, "cells ascending, no replica duplicates");
+        assert_eq!(
+            exported.iter().map(|(_, t)| t.len()).sum::<usize>(),
+            r.len()
+        );
+        // import into a different layout: contents identical
+        let fresh = TermRegistry::with_groups(32, 1, 4);
+        fresh.import_cells(&exported);
+        assert_eq!(fresh.len(), r.len());
+        for (cell, terms) in &exported {
+            assert_eq!(
+                fresh.terms_of_cell(*cell),
+                terms.iter().copied().collect::<HashSet<_>>()
+            );
+        }
+        // importing twice changes nothing, and the export is deterministic
+        fresh.import_cells(&exported);
+        assert_eq!(fresh.len(), r.len());
+        assert_eq!(fresh.export_cells(), exported);
     }
 
     #[test]

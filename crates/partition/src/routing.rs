@@ -305,6 +305,18 @@ impl RoutingTable {
         &self.query_terms
     }
 
+    /// Exports the `H2` registry in canonical order for embedding in a
+    /// durability snapshot (see `TermRegistry::export_cells`).
+    pub fn registry_export(&self) -> Vec<(u32, Vec<TermId>)> {
+        self.query_terms.export_cells()
+    }
+
+    /// Re-registers a snapshot's registry export. Idempotent: replaying the
+    /// recovered query log afterwards re-inserts the same pairs harmlessly.
+    pub fn import_registry(&self, cells: &[(u32, Vec<TermId>)]) {
+        self.query_terms.import_cells(cells);
+    }
+
     /// Reassigns an entire cell to a different worker (local load adjustment
     /// migrating a cell). The cell becomes [`CellRouting::Single`].
     pub fn reassign_cell(&mut self, cell: CellId, to: WorkerId) {

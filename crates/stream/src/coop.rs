@@ -424,6 +424,11 @@ pub(crate) struct SimRuntime {
     /// one message at a time, so this is the per-message hot path).
     alive: Vec<usize>,
     rng: u64,
+    /// Remaining task polls before [`SimRuntime::run_until`] stops early
+    /// (`None` = unlimited). The crash-injection hook of the recovery tests:
+    /// the poll count is a pure function of (workload, seed), so "crash
+    /// after N polls" is a reproducible point in the schedule.
+    fuel: Option<u64>,
 }
 
 impl SimRuntime {
@@ -434,6 +439,7 @@ impl SimRuntime {
             // avoid the all-zeros fixpoint-ish start without changing the
             // seed→schedule mapping per seed
             rng: seed ^ 0x5DEE_CE66_D1CE_1CEB,
+            fuel: None,
         }
     }
 
@@ -452,6 +458,11 @@ impl SimRuntime {
     /// like on the concurrent backends.
     pub(crate) fn run_until(&mut self, ids: &[usize]) {
         while ids.iter().any(|id| self.tasks[*id].slot.is_some()) {
+            match &mut self.fuel {
+                Some(0) => return, // out of fuel: the "crash point" reached
+                Some(f) => *f -= 1,
+                None => {}
+            }
             let slot = (splitmix64(&mut self.rng) % self.alive.len() as u64) as usize;
             let pick = self.alive[slot];
             let mut task = self.tasks[pick].slot.take().expect("alive task has a box");
@@ -469,6 +480,14 @@ impl SimRuntime {
 
     pub(crate) fn num_tasks(&self) -> usize {
         self.tasks.len()
+    }
+
+    pub(crate) fn set_fuel(&mut self, polls: Option<u64>) {
+        self.fuel = polls;
+    }
+
+    pub(crate) fn fuel_remaining(&self) -> Option<u64> {
+        self.fuel
     }
 }
 
@@ -549,6 +568,43 @@ mod tests {
         let pool = PoolRuntime::with_placement(1, None);
         let id = pool.spawn("boom".into(), Box::new(Boom), &[]);
         pool.join(&[id]);
+    }
+
+    #[test]
+    fn sim_fuel_stops_mid_schedule_and_resumes_identically() {
+        fn run(seed: u64, fuel: Option<u64>) -> Vec<u64> {
+            let (log_tx, log_rx) = unbounded::<u64>();
+            let mut sim = SimRuntime::new(seed);
+            let mut ids = Vec::new();
+            for tag in [100u64, 200u64] {
+                let (tx, rx) = unbounded::<u64>();
+                for i in 0..20 {
+                    tx.send(i).unwrap();
+                }
+                drop(tx);
+                ids.push(sim.spawn(Box::new(Forwarder {
+                    input: rx,
+                    output: Some(log_tx.clone()),
+                    tag,
+                })));
+            }
+            drop(log_tx);
+            sim.set_fuel(fuel);
+            sim.run_until(&ids);
+            if fuel.is_some() {
+                assert_eq!(sim.fuel_remaining(), Some(0), "stopped by fuel");
+                // refuelling resumes the same schedule to completion
+                sim.set_fuel(None);
+                sim.run_until(&ids);
+            }
+            log_rx.try_iter().collect()
+        }
+        let full = run(7, None);
+        let partial = run(7, Some(5));
+        assert_eq!(
+            full, partial,
+            "a fuel pause must not perturb the seeded schedule"
+        );
     }
 
     #[test]

@@ -304,6 +304,32 @@ impl Runtime {
         matches!(self.inner, Inner::Sim(_))
     }
 
+    /// Limits the deterministic simulator to `polls` further task polls:
+    /// [`Runtime::join_tasks`] then stops mid-schedule once the budget is
+    /// spent, leaving every task (and its queued messages) in place. The
+    /// poll count is a pure function of (workload, seed), which makes this
+    /// the crash-injection hook of the recovery tests — "crash after N
+    /// polls" names one reproducible instant of the run. `None` removes the
+    /// limit. Returns false (and does nothing) on non-sim backends.
+    pub fn set_sim_fuel(&mut self, polls: Option<u64>) -> bool {
+        match &mut self.inner {
+            Inner::Sim(sim) => {
+                sim.set_fuel(polls);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Remaining sim poll budget (`None` = unlimited or not the sim
+    /// backend).
+    pub fn sim_fuel_remaining(&self) -> Option<u64> {
+        match &self.inner {
+            Inner::Sim(sim) => sim.fuel_remaining(),
+            _ => None,
+        }
+    }
+
     /// Creates a channel with the backend's capacity semantics: the thread
     /// backend honours `capacity` (blocking backpressure), the cooperative
     /// backends return an unbounded channel because a task must never block

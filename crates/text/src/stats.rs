@@ -131,6 +131,18 @@ impl TermStats {
         }
     }
 
+    /// The raw per-term document-frequency counts (`counts[term.index()]`),
+    /// exposed for snapshot serialization.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuilds statistics from snapshot parts (the inverse of
+    /// [`TermStats::counts`] + [`TermStats::num_docs`]).
+    pub fn from_parts(counts: Vec<u64>, num_docs: u64) -> Self {
+        Self { counts, num_docs }
+    }
+
     /// Approximate memory footprint in bytes.
     pub fn memory_usage(&self) -> usize {
         std::mem::size_of::<Self>() + self.counts.len() * std::mem::size_of::<u64>()
@@ -234,6 +246,13 @@ mod tests {
         assert_eq!(a.num_docs(), 4);
         assert_eq!(a.frequency(t(2)), 2);
         assert_eq!(a.frequency(t(3)), 1);
+    }
+
+    #[test]
+    fn snapshot_parts_roundtrip() {
+        let s = sample_stats();
+        let rebuilt = TermStats::from_parts(s.counts().to_vec(), s.num_docs());
+        assert_eq!(rebuilt, s);
     }
 
     #[test]
