@@ -6,6 +6,7 @@ pub mod durability;
 pub mod env_doc;
 pub mod lock_order;
 pub mod no_alloc_hot;
+pub mod panic_free;
 pub mod sim_determinism;
 pub mod unsafe_audit;
 
@@ -48,5 +49,6 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(channel_discipline::ChannelDiscipline),
         Box::new(env_doc::EnvDoc),
         Box::new(durability::DurabilityDiscipline),
+        Box::new(panic_free::PanicFreeOperators),
     ]
 }

@@ -1,0 +1,145 @@
+//! `panic-free-operators`: operator code must not abort the pipeline.
+//!
+//! PR 10's supervised pipeline turns worker failures into recoverable events
+//! (respawn from the shadow subscription log, replay of parked records). A
+//! stray `unwrap()` in an operator defeats that machinery: the panic tears
+//! down an executor the supervisor was built to keep alive, and on the
+//! thread backend it poisons the whole run. `unwrap()`, `expect()` and
+//! `panic!` in operator code (`operator-path` prefixes in `ps2lint.allow`)
+//! therefore require an audited `allow` entry whose justification states why
+//! the site cannot fire at runtime (startup-only, invariant guarded by a
+//! prior check, …). Assertion macros (`assert!`, `unreachable!`,
+//! `debug_assert!`) are out of scope — they document invariants rather than
+//! swallow `Result`s.
+
+use super::Rule;
+use crate::config::Config;
+use crate::diagnostics::Diagnostic;
+use crate::source::SourceFile;
+
+/// See module docs.
+pub struct PanicFreeOperators;
+
+impl Rule for PanicFreeOperators {
+    fn name(&self) -> &'static str {
+        "panic-free-operators"
+    }
+
+    fn description(&self) -> &'static str {
+        "unwrap/expect/panic! in operator code needs an audited allow entry"
+    }
+
+    fn check_file(&self, file: &SourceFile, cfg: &Config, out: &mut Vec<Diagnostic>) {
+        if !cfg.is_operator_path(&file.rel_path) || file.is_test_path {
+            return;
+        }
+        for i in 0..file.code_len() {
+            if file.is_test_code(i) {
+                continue;
+            }
+            // `.unwrap(` / `.expect(` — a method call consuming a
+            // Result/Option by aborting (names like `unwrap_or` lex as one
+            // distinct identifier and never reach here)
+            let item = if file.is_punct(i, ".")
+                && i + 2 < file.code_len()
+                && file.is_punct(i + 2, "(")
+                && matches!(file.ident_at(i + 1), Some("unwrap") | Some("expect"))
+            {
+                file.ident_at(i + 1).unwrap().to_string()
+            // `panic!` — an explicit abort (`panic::catch_unwind` is a path,
+            // not a macro bang, and does not match)
+            } else if file.is_ident(i, "panic")
+                && i + 1 < file.code_len()
+                && file.is_punct(i + 1, "!")
+            {
+                "panic!".to_string()
+            } else {
+                continue;
+            };
+            out.push(Diagnostic {
+                rule: self.name(),
+                path: file.rel_path.clone(),
+                line: file.line_of(i),
+                item: item.clone(),
+                message: format!(
+                    "`{item}` in operator code aborts an executor the supervisor is \
+                     built to keep alive; return an error, degrade, or add an \
+                     audited allow entry"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn run(path: &str, src: &str) -> Vec<Diagnostic> {
+        let cfg = Config::parse("operator-path crates/core/src\n").unwrap();
+        let file = SourceFile::parse(path, src);
+        let mut out = Vec::new();
+        PanicFreeOperators.check_file(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn aborts_in_operator_code_are_flagged() {
+        let diags = run(
+            "crates/core/src/worker.rs",
+            r#"
+            fn handle(&mut self) {
+                let v = self.rx.recv().unwrap();
+                let w = self.table.get(&v).expect("routed");
+                if w.is_stale() {
+                    panic!("stale route");
+                }
+            }
+        "#,
+        );
+        let items: Vec<_> = diags.iter().map(|d| d.item.as_str()).collect();
+        assert_eq!(items, ["unwrap", "expect", "panic!"]);
+    }
+
+    #[test]
+    fn fallible_combinators_and_assertions_pass() {
+        let diags = run(
+            "crates/core/src/worker.rs",
+            r#"
+            fn handle(&mut self) {
+                let v = self.rx.recv().unwrap_or_default();
+                let w = self.cache.get(&v).unwrap_or_else(|| self.rebuild(v));
+                assert!(w.is_live());
+                match w.kind() {
+                    Kind::Known(k) => self.apply(k),
+                    Kind::Other => unreachable!("validated on ingest"),
+                }
+                let guard = std::panic::catch_unwind(|| w.run());
+                drop(guard);
+            }
+        "#,
+        );
+        assert!(diags.is_empty(), "false positives: {diags:?}");
+    }
+
+    #[test]
+    fn test_code_and_non_operator_paths_are_out_of_scope() {
+        let diags = run(
+            "crates/core/src/worker.rs",
+            r#"
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { make().unwrap(); }
+            }
+        "#,
+        );
+        assert!(diags.is_empty());
+        let diags = run(
+            "crates/bench/src/lib.rs",
+            "fn f() { run().unwrap(); panic!(\"boom\"); }",
+        );
+        assert!(diags.is_empty());
+    }
+}

@@ -135,6 +135,7 @@ fn seeded_fixture_tree_trips_every_rule() {
         "[channel-discipline]",
         "[env-doc-drift]",
         "[durability-discipline]",
+        "[panic-free-operators]",
     ] {
         assert!(stdout.contains(rule), "{rule} did not fire:\n{stdout}");
     }

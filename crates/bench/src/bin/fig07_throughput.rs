@@ -72,6 +72,24 @@ fn run_panel(
                     JsonValue::Float(p.replay_time.as_secs_f64() * 1e3),
                 ),
             ]);
+            // supervision + overload counters (all-zero unless the run was
+            // started with --faults or an overload policy tripped)
+            let f = &report.faults;
+            json_rows.last_mut().unwrap().extend([
+                ("worker_crashes", JsonValue::Int(f.worker_crashes as i64)),
+                ("worker_respawns", JsonValue::Int(f.worker_respawns as i64)),
+                (
+                    "replayed_records",
+                    JsonValue::Int(f.replayed_records as i64),
+                ),
+                (
+                    "restored_updates",
+                    JsonValue::Int(f.restored_updates as i64),
+                ),
+                ("shed_records", JsonValue::Int(f.shed_records as i64)),
+                ("shed_matches", JsonValue::Int(f.shed_matches as i64)),
+                ("diverted_sends", JsonValue::Int(f.diverted_sends as i64)),
+            ]);
         }
     }
     print_table(

@@ -136,6 +136,8 @@ pub struct Experiment {
     pub scenario: Option<Scenario>,
     /// Durable-subscription store configuration (None = in-memory only).
     pub durability: Option<StoreConfig>,
+    /// Declarative fault schedule injected into the run (None = fault-free).
+    pub faults: Option<FaultPlan>,
     /// Random seed.
     pub seed: u64,
 }
@@ -162,6 +164,7 @@ impl Experiment {
             pinning: None,
             scenario: None,
             durability: None,
+            faults: None,
             seed: 42,
         }
     }
@@ -211,6 +214,15 @@ impl Experiment {
         self
     }
 
+    /// Injects a declarative fault schedule (see `SystemConfig::faults` and
+    /// the `PS2_FAULTS` grammar). The supervised pipeline masks every
+    /// scheduled fault, so throughput/latency columns show the recovery
+    /// cost rather than lost work.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Runs the experiment: partition on a calibration sample, register the
     /// initial query population, drive the measured stream, and return the
     /// run report.
@@ -250,6 +262,7 @@ impl Experiment {
             Some(store) => config.with_durability(store),
             None => config,
         };
+        let config = config.with_faults(self.faults);
         let mut system = Ps2StreamBuilder::new(config)
             .with_partitioner(self.partitioner)
             .with_calibration_sample(sample)
@@ -411,6 +424,11 @@ pub struct RunKnobs {
     /// afterwards. Durability cost shows up in the throughput/latency
     /// columns; log/snapshot sizes and replay time land in the JSON rows.
     pub durable: bool,
+    /// `--faults <spec>`: declarative fault schedule (the `PS2_FAULTS`
+    /// grammar). The supervised pipeline masks every scheduled fault;
+    /// recovery cost shows up in the throughput/latency columns, the
+    /// crash/shed/replay counters land in the JSON rows.
+    pub faults: Option<FaultPlan>,
 }
 
 impl RunKnobs {
@@ -422,13 +440,14 @@ impl RunKnobs {
             pinning: pin_arg(),
             scenario: scenario_arg(),
             durable: durable_arg(),
+            faults: faults_arg(),
         }
     }
 
     /// Renders the knob line printed in each figure header.
     pub fn describe(&self) -> String {
         format!(
-            "--batch {}; --runtime {}; pinning {}; scenario {}; durable {}",
+            "--batch {}; --runtime {}; pinning {}; scenario {}; durable {}; faults {}",
             self.batch.map_or("default".to_string(), |b| b.to_string()),
             self.runtime
                 .as_ref()
@@ -438,6 +457,9 @@ impl RunKnobs {
             self.scenario
                 .map_or("steady-state".to_string(), |s| s.name().to_string()),
             self.durable,
+            self.faults
+                .as_ref()
+                .map_or("none".to_string(), |p| format!("{} spec(s)", p.specs.len())),
         )
     }
 
@@ -468,6 +490,9 @@ pub fn headline_report_batched(
     }
     if let Some(pinning) = knobs.pinning {
         experiment = experiment.with_pinning(pinning);
+    }
+    if let Some(plan) = knobs.faults.clone() {
+        experiment = experiment.with_faults(plan);
     }
     if let Some(scenario) = knobs.scenario {
         // an adversarial run is about the controller's reaction, so enable
@@ -571,6 +596,24 @@ pub fn pin_arg() -> Option<bool> {
 /// `PS2_FSYNC`), with a recovery probe after the run.
 pub fn durable_arg() -> bool {
     std::env::args().any(|a| a == "--durable")
+}
+
+/// Parses a `--faults <spec>` argument (the fault-injection knob of the
+/// fig07/fig08 binaries): a declarative fault schedule in the `PS2_FAULTS`
+/// grammar, e.g. `crash:worker:0@tick=5000;drop:worker->merger:p=0.01:k=8`.
+/// Returns `None` when absent; panics on a malformed schedule so a typo does
+/// not silently benchmark a fault-free run.
+pub fn faults_arg() -> Option<FaultPlan> {
+    let args: Vec<String> = std::env::args().collect();
+    let spec = args.iter().enumerate().find_map(|(i, arg)| {
+        arg.strip_prefix("--faults=")
+            .map(str::to_owned)
+            .or_else(|| {
+                (arg == "--faults")
+                    .then(|| args.get(i + 1).expect("--faults expects a value").clone())
+            })
+    })?;
+    Some(FaultPlan::parse(&spec).unwrap_or_else(|err| panic!("--faults {spec:?}: {err}")))
 }
 
 /// Parses a `--scenario <name>` argument (the adversarial-workload knob of
@@ -770,6 +813,31 @@ mod tests {
             );
             assert!(report.throughput_tps > 0.0);
         }
+    }
+
+    #[test]
+    fn faulted_experiment_masks_the_crash() {
+        let scale = Scale {
+            queries: 200,
+            stream_records: 400,
+            calibration_objects: 300,
+            calibration_queries: 100,
+        };
+        let report = Experiment::new(
+            DatasetSpec::tiny(),
+            QueryClass::Q1,
+            Box::new(KdTreePartitioner::default()),
+            scale,
+        )
+        .with_workers(2)
+        .with_runtime(RuntimeBackend::deterministic(7))
+        .with_faults(FaultPlan::parse("crash:worker:0@tick=50").unwrap())
+        .run();
+        // the crash fired, the respawn answered it, and no records were lost
+        assert_eq!(report.records_in, 600);
+        assert_eq!(report.faults.worker_crashes, 1);
+        assert_eq!(report.faults.worker_respawns, 1);
+        assert!(report.throughput_tps > 0.0);
     }
 
     #[test]

@@ -2,7 +2,31 @@
 
 use ps2stream_partition::CostConstants;
 use ps2stream_persist::StoreConfig;
-use ps2stream_stream::RuntimeBackend;
+use ps2stream_stream::{FaultPlan, RuntimeBackend};
+
+/// What an operator does when its mailbox backlog exceeds its bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Backpressure: the bounded input and worker→merger channels block the
+    /// sender when full on the thread backend (the cooperative backends make
+    /// every channel unbounded by construction, so there they never block).
+    /// This is the historical behaviour.
+    #[default]
+    Block,
+    /// Load shedding on every backend: when an operator dequeues a data
+    /// message while more than `*_mailbox` messages are still waiting, the
+    /// dequeued (oldest) message's stream data is dropped and counted
+    /// (`FaultMetrics::shed_records` / `shed_matches`). Subscription updates
+    /// and control traffic are never shed, and the merger raises its
+    /// eviction watermark over shed matches so deduplication never
+    /// double-delivers around a gap.
+    ShedOldest {
+        /// Worker mailbox bound, in messages.
+        worker_mailbox: usize,
+        /// Merger mailbox bound, in messages.
+        merger_mailbox: usize,
+    },
+}
 
 /// Which Minimum Cost Migration selector the dynamic load adjustment uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -124,6 +148,17 @@ pub struct SystemConfig {
     /// in-memory-only behaviour. The store's fsync policy honours
     /// `PS2_FSYNC` (`always` | `every:<n>` | `never`).
     pub durability: Option<StoreConfig>,
+    /// Deterministic fault schedule interpreted by the supervised pipeline
+    /// (worker crashes, wedges, edge drop/delay shims; see
+    /// [`ps2stream_stream::FaultPlan`]). `None` injects nothing. The default
+    /// honours the `PS2_FAULTS` environment variable (panicking on a
+    /// malformed spec, like `PS2_RUNTIME`) so any binary can run under a
+    /// fault schedule without code changes.
+    pub faults: Option<FaultPlan>,
+    /// What workers and mergers do when their mailbox backlog exceeds its
+    /// bound: block the producers (default) or shed the oldest data
+    /// messages with explicit counters.
+    pub overload: OverloadPolicy,
 }
 
 impl Default for SystemConfig {
@@ -142,6 +177,8 @@ impl Default for SystemConfig {
             pinning: pinning_from_env(),
             numa_shards: None,
             durability: None,
+            faults: FaultPlan::from_env(),
+            overload: OverloadPolicy::default(),
         }
     }
 }
@@ -213,6 +250,19 @@ impl SystemConfig {
         self.durability = Some(store);
         self
     }
+
+    /// Installs a fault schedule (overriding any `PS2_FAULTS` value picked
+    /// up by `Default`); `None` disables injection.
+    pub fn with_faults(mut self, faults: Option<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Selects the overload policy of the workers and mergers.
+    pub fn with_overload(mut self, overload: OverloadPolicy) -> Self {
+        self.overload = overload;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -265,6 +315,23 @@ mod tests {
         assert_eq!(c.numa_shards, None);
         let c = c.with_numa_shards(Some(16));
         assert_eq!(c.numa_shards, Some(16));
+    }
+
+    #[test]
+    fn fault_and_overload_overrides() {
+        let c = SystemConfig::default();
+        assert_eq!(c.overload, OverloadPolicy::Block);
+        let plan = FaultPlan::parse("crash:worker:1@tick=100").unwrap();
+        let c = c
+            .with_faults(Some(plan.clone()))
+            .with_overload(OverloadPolicy::ShedOldest {
+                worker_mailbox: 8,
+                merger_mailbox: 8,
+            });
+        assert_eq!(c.faults.as_ref().unwrap().specs.len(), plan.specs.len());
+        assert!(matches!(c.overload, OverloadPolicy::ShedOldest { .. }));
+        let c = c.with_faults(None);
+        assert!(c.faults.is_none());
     }
 
     #[test]

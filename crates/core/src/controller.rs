@@ -11,6 +11,7 @@
 use crate::config::{AdjustmentConfig, SelectorKind};
 use crate::messages::{WorkerMessage, WorkerStatsReport};
 use crate::metrics::SystemMetrics;
+use crate::supervisor::Supervisor;
 use parking_lot::RwLock;
 use ps2stream_balance::{
     DpSelector, GreedySelector, LocalAdjuster, LocalAdjusterConfig, MigrationMove,
@@ -18,7 +19,7 @@ use ps2stream_balance::{
 };
 use ps2stream_model::WorkerId;
 use ps2stream_partition::{CostConstants, RoutingTable};
-use ps2stream_stream::{bounded, PollTask, Receiver, Sender, TaskPoll};
+use ps2stream_stream::{bounded, PollTask, Receiver, Sender, TaskPoll, TryRecvError};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -41,6 +42,9 @@ pub struct AdjustmentController {
     workers: Vec<Sender<WorkerMessage>>,
     metrics: Arc<SystemMetrics>,
     stop: Arc<AtomicBool>,
+    /// When set, a worker whose channel is disconnected or that misses the
+    /// stats deadline is reported instead of being silently skipped.
+    supervisor: Option<Arc<Supervisor>>,
 }
 
 impl AdjustmentController {
@@ -60,25 +64,55 @@ impl AdjustmentController {
             workers,
             metrics,
             stop,
+            supervisor: None,
         }
     }
 
-    /// Polls every worker for its load report. Workers that have already shut
-    /// down simply do not answer; the call times out after a short grace
-    /// period.
-    fn collect_stats(&self) -> Vec<WorkerStatsReport> {
+    /// Arms supervisor reporting: disconnected worker channels become
+    /// peer-death flags and stats-deadline misses become liveness suspects.
+    pub fn with_supervisor(mut self, supervisor: Arc<Supervisor>) -> Self {
+        self.supervisor = Some(supervisor);
+        self
+    }
+
+    /// Flags worker `worker` down on the supervisor (counted once).
+    fn note_worker_down(&self, worker: usize) {
+        if let Some(supervisor) = &self.supervisor {
+            if supervisor.note_peer_down(worker) {
+                self.metrics
+                    .faults
+                    .peer_disconnects
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Requests a load report from every worker: the shared first half of
+    /// [`Self::collect_stats`] and the simulated [`ControllerTask`]. Returns
+    /// the reply channel and the number of replies to expect; a worker whose
+    /// channel is already disconnected is reported as peer death.
+    fn request_stats(&self) -> (Receiver<WorkerStatsReport>, usize) {
         // One reply per worker, so a capacity of `workers.len()` means the
         // replying side can never block on this channel.
         let (tx, rx) = bounded::<WorkerStatsReport>(self.workers.len().max(1));
         let mut expected = 0usize;
-        for w in &self.workers {
+        for (index, w) in self.workers.iter().enumerate() {
             if w.send(WorkerMessage::CollectStats { reply: tx.clone() })
                 .is_ok()
             {
                 expected += 1;
+            } else {
+                self.note_worker_down(index);
             }
         }
-        drop(tx);
+        (rx, expected)
+    }
+
+    /// Polls every worker for its load report. Workers that have already shut
+    /// down simply do not answer; the call times out after a short grace
+    /// period, and any shortfall is reported as liveness suspicion.
+    fn collect_stats(&self) -> Vec<WorkerStatsReport> {
+        let (rx, expected) = self.request_stats();
         let deadline = Instant::now() + Duration::from_millis(2_000);
         let mut out = Vec::with_capacity(expected);
         while out.len() < expected {
@@ -90,6 +124,14 @@ impl AdjustmentController {
                 Ok(report) => out.push(report),
                 Err(_) => break,
             }
+        }
+        if out.len() < expected {
+            // a worker accepted the request but never answered: suspicious,
+            // though not proof of death (it may just be saturated)
+            self.metrics
+                .faults
+                .liveness_suspects
+                .fetch_add((expected - out.len()) as u64, Ordering::Relaxed);
         }
         out.sort_by_key(|r| r.worker);
         out
@@ -297,17 +339,7 @@ impl PollTask for ControllerTask {
                     *polls_left -= 1;
                     return TaskPoll::Blocked;
                 }
-                // As in `collect_stats`: each worker replies at most once.
-                let (tx, reply) =
-                    bounded::<WorkerStatsReport>(self.controller.workers.len().max(1));
-                let mut expected = 0usize;
-                for w in &self.controller.workers {
-                    if w.send(WorkerMessage::CollectStats { reply: tx.clone() })
-                        .is_ok()
-                    {
-                        expected += 1;
-                    }
-                }
+                let (reply, expected) = self.controller.request_stats();
                 self.phase = ControllerPhase::Collecting {
                     reply,
                     expected,
@@ -320,11 +352,29 @@ impl PollTask for ControllerTask {
                 expected,
                 reports,
             } => {
-                while let Ok(report) = reply.try_recv() {
-                    reports.push(report);
+                let mut disconnected = false;
+                loop {
+                    match reply.try_recv() {
+                        Ok(report) => reports.push(report),
+                        Err(TryRecvError::Empty) => break,
+                        Err(TryRecvError::Disconnected) => {
+                            disconnected = true;
+                            break;
+                        }
+                    }
                 }
                 if reports.len() < *expected {
-                    return TaskPoll::Blocked;
+                    // A disconnected reply channel means some worker died
+                    // between accepting the request and answering it: plan
+                    // with the survivors rather than blocking forever.
+                    if !disconnected {
+                        return TaskPoll::Blocked;
+                    }
+                    self.controller
+                        .metrics
+                        .faults
+                        .liveness_suspects
+                        .fetch_add((*expected - reports.len()) as u64, Ordering::Relaxed);
                 }
                 let mut reports = std::mem::take(reports);
                 reports.sort_by_key(|r| r.worker);
@@ -483,6 +533,45 @@ mod tests {
         tx1.send(WorkerMessage::Shutdown).unwrap();
         h0.join().unwrap();
         h1.join().unwrap();
+    }
+
+    #[test]
+    fn dead_and_silent_workers_are_accounted_by_the_supervisor() {
+        let metrics = SystemMetrics::new(2);
+        let supervisor = Supervisor::new(2, false);
+        // worker 0's channel is already disconnected
+        let (dead_tx, dead_rx) = unbounded::<WorkerMessage>();
+        drop(dead_rx);
+        // worker 1 accepts the stats request but never answers (it drops the
+        // reply channel), so the collection falls short of `expected`
+        let (silent_tx, silent_rx) = unbounded::<WorkerMessage>();
+        let silent = std::thread::spawn(move || {
+            while let Ok(msg) = silent_rx.recv() {
+                match msg {
+                    WorkerMessage::CollectStats { reply } => drop(reply),
+                    WorkerMessage::Shutdown => break,
+                    _ => {}
+                }
+            }
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let controller = AdjustmentController::new(
+            AdjustmentConfig::default(),
+            CostConstants::default(),
+            Arc::new(RwLock::new(routing_two_workers())),
+            vec![dead_tx, silent_tx.clone()],
+            Arc::clone(&metrics),
+            stop,
+        )
+        .with_supervisor(Arc::clone(&supervisor));
+        let reports = controller.collect_stats();
+        assert!(reports.is_empty());
+        assert!(supervisor.is_down(0), "the dead channel is peer death");
+        assert!(!supervisor.is_down(1), "silence alone is not death");
+        assert_eq!(metrics.faults.peer_disconnects.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.faults.liveness_suspects.load(Ordering::Relaxed), 1);
+        silent_tx.send(WorkerMessage::Shutdown).unwrap();
+        silent.join().unwrap();
     }
 
     #[test]

@@ -17,6 +17,7 @@
 
 use crate::messages::WorkerMessage;
 use crate::metrics::SystemMetrics;
+use crate::supervisor::Supervisor;
 use parking_lot::RwLock;
 use ps2stream_model::{QueryUpdate, StreamRecord};
 use ps2stream_partition::RoutingTable;
@@ -38,6 +39,9 @@ pub struct Dispatcher {
     /// as batches. Flushed at the end of every input batch, so the buffers
     /// never hold records across a quiescent period.
     buffer: BatchBuffer<StreamRecord>,
+    /// When set, a failed send to a worker channel is reported as peer death
+    /// instead of being silently dropped.
+    supervisor: Option<Arc<Supervisor>>,
 }
 
 impl Dispatcher {
@@ -55,6 +59,29 @@ impl Dispatcher {
             metrics,
             old_routing,
             buffer: BatchBuffer::new(num_workers, batch_size),
+            supervisor: None,
+        }
+    }
+
+    /// Arms peer-death reporting: a send to a disconnected worker channel
+    /// flags that worker down on `supervisor` (counted once per worker).
+    pub fn with_supervisor(mut self, supervisor: Arc<Supervisor>) -> Self {
+        self.supervisor = Some(supervisor);
+        self
+    }
+
+    /// Sends a routed batch to worker `worker`, turning a disconnected
+    /// channel into a supervisor peer-death signal rather than a silent drop.
+    fn deliver(&self, worker: usize, batch: Batch<StreamRecord>, emitter: &Emitter<WorkerMessage>) {
+        if !emitter.emit_to_checked(worker, WorkerMessage::Records(batch)) {
+            if let Some(supervisor) = &self.supervisor {
+                if supervisor.note_peer_down(worker) {
+                    self.metrics
+                        .faults
+                        .peer_disconnects
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
         }
     }
 
@@ -121,11 +148,11 @@ impl Dispatcher {
                 .buffer
                 .push(w.index(), envelope.derive(envelope.payload.clone()))
             {
-                emitter.emit_to(w.index(), WorkerMessage::Records(batch));
+                self.deliver(w.index(), batch, emitter);
             }
         }
         if let Some(batch) = self.buffer.push(last.index(), envelope) {
-            emitter.emit_to(last.index(), WorkerMessage::Records(batch));
+            self.deliver(last.index(), batch, emitter);
         }
     }
 }
@@ -154,7 +181,7 @@ impl Operator for Dispatcher {
         // is held back between input batches, so downstream latency is
         // bounded by the batch the record arrived in.
         for (worker, batch) in self.buffer.flush_all() {
-            emitter.emit_to(worker, WorkerMessage::Records(batch));
+            self.deliver(worker, batch, emitter);
         }
         drop(old_routing);
         drop(routing);
@@ -344,6 +371,41 @@ mod tests {
             sizes.push(b.len());
         }
         assert_eq!(sizes, vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn disconnected_worker_channel_flags_peer_death_exactly_once() {
+        let metrics = SystemMetrics::new(2);
+        let routing = Arc::new(RwLock::new(split_routing()));
+        let old = Arc::new(RwLock::new(None));
+        let supervisor = Supervisor::new(2, false);
+        let mut d = Dispatcher::new(routing, old, Arc::clone(&metrics), 2, 4)
+            .with_supervisor(Arc::clone(&supervisor));
+        let (tx0, rx0) = bounded::<WorkerMessage>(16);
+        let (tx1, rx1) = bounded::<WorkerMessage>(16);
+        let emitter = Emitter::new(vec![tx0, tx1]);
+        drop(rx1); // worker 1 dies
+
+        // two queries spanning both halves: each batch flush hits the dead
+        // channel, but the death is counted only once
+        for id in 1..=2u64 {
+            d.process(
+                Batch::of_one(Envelope::now(
+                    id,
+                    StreamRecord::Update(QueryUpdate::Insert(query(
+                        id,
+                        7,
+                        Rect::from_coords(0.0, 0.0, 16.0, 16.0),
+                    ))),
+                )),
+                &emitter,
+            );
+        }
+        assert!(supervisor.is_down(1));
+        assert!(!supervisor.is_down(0));
+        assert_eq!(metrics.faults.peer_disconnects.load(Ordering::Relaxed), 1);
+        // the healthy worker still received both replicas
+        assert_eq!(drain_records(&rx0).len(), 2);
     }
 
     #[test]

@@ -66,20 +66,23 @@ pub mod dispatcher;
 pub mod merger;
 pub mod messages;
 pub mod metrics;
+pub mod supervisor;
 pub mod system;
 pub mod worker;
 
-pub use config::{AdjustmentConfig, SelectorKind, SystemConfig};
+pub use config::{AdjustmentConfig, OverloadPolicy, SelectorKind, SystemConfig};
 pub use messages::WorkerCheckpoint;
-pub use metrics::{PersistenceReport, RunReport, SystemMetrics};
-pub use system::{Ps2StreamBuilder, RunningSystem};
+pub use metrics::{FaultReport, PersistenceReport, RunReport, SystemMetrics};
+pub use supervisor::{Supervisor, WorkerFaults};
+pub use system::{Ps2StreamBuilder, RunningSystem, SystemError};
 
 /// Convenient re-exports for building and driving a PS2Stream deployment.
 pub mod prelude {
-    pub use crate::config::{AdjustmentConfig, SelectorKind, SystemConfig};
+    pub use crate::config::{AdjustmentConfig, OverloadPolicy, SelectorKind, SystemConfig};
     pub use crate::messages::WorkerCheckpoint;
-    pub use crate::metrics::{PersistenceReport, RunReport, SystemMetrics};
-    pub use crate::system::{Ps2StreamBuilder, RunningSystem};
+    pub use crate::metrics::{FaultReport, PersistenceReport, RunReport, SystemMetrics};
+    pub use crate::supervisor::{Supervisor, WorkerFaults};
+    pub use crate::system::{Ps2StreamBuilder, RunningSystem, SystemError};
     pub use ps2stream_geo::{Point, Rect};
     pub use ps2stream_model::{
         MatchResult, ObjectId, QueryId, QueryUpdate, SpatioTextualObject, StreamRecord, StsQuery,
@@ -92,7 +95,7 @@ pub mod prelude {
     };
     pub use ps2stream_persist::{FsyncPolicy, PersistentStore, StoreConfig};
     pub use ps2stream_stream::{
-        CoopConfig, CpuTopology, Placement, PlacementPolicy, RuntimeBackend,
+        CoopConfig, CpuTopology, FaultPlan, Placement, PlacementPolicy, RuntimeBackend,
     };
     pub use ps2stream_text::{BooleanExpr, TermId, Tokenizer, Vocabulary};
     pub use ps2stream_workload::{

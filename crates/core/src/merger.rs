@@ -28,7 +28,7 @@
 use crate::messages::MergerMessage;
 use crate::metrics::SystemMetrics;
 use ps2stream_model::{MatchResult, ObjectId, QueryId};
-use ps2stream_stream::{Emitter, Operator, Sender};
+use ps2stream_stream::{Emitter, Operator, QueueDepth, Sender};
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
@@ -49,6 +49,10 @@ pub struct Merger {
     evicted_watermark: Option<u64>,
     /// Maximum number of objects tracked for deduplication.
     capacity: usize,
+    /// Overload protection: `(input backlog gauge, mailbox bound)`. When the
+    /// backlog exceeds the bound, whole match batches are shed (see
+    /// [`OverloadPolicy::ShedOldest`](crate::config::OverloadPolicy)).
+    shed: Option<(QueueDepth, usize)>,
 }
 
 impl Merger {
@@ -66,7 +70,18 @@ impl Merger {
             order: VecDeque::new(),
             evicted_watermark: None,
             capacity: capacity.max(1),
+            shed: None,
         }
+    }
+
+    /// Arms overload protection: when `depth` (this merger's input backlog)
+    /// exceeds `mailbox`, incoming match batches are shed instead of merged.
+    /// Shedding raises the eviction watermark over the shed batch so a
+    /// retransmitted or duplicated copy of a shed match can never be
+    /// delivered later as if it were new (dedup stays sound around the gap).
+    pub fn with_overload(mut self, depth: QueueDepth, mailbox: usize) -> Self {
+        self.shed = Some((depth, mailbox));
+        self
     }
 
     /// The dedup entry of an object (whose matches arrived with ingest
@@ -108,6 +123,28 @@ impl Operator for Merger {
 
     fn process(&mut self, input: MergerMessage, _emitter: &Emitter<()>) {
         let MergerMessage::Matches(batch) = input;
+        if let Some((depth, mailbox)) = &self.shed {
+            if depth.get() > *mailbox {
+                // Overloaded: shed the whole batch. Raising the watermark to
+                // the batch's highest sequence keeps dedup sound — any copy
+                // of a shed match arriving later for an untracked object is
+                // suppressed as late traffic instead of delivered anew.
+                let mut shed = 0u64;
+                let mut high = self.evicted_watermark;
+                for envelope in batch.records() {
+                    shed += envelope.payload.len() as u64;
+                    high = Some(high.map_or(envelope.sequence, |w| w.max(envelope.sequence)));
+                }
+                self.evicted_watermark = high;
+                self.metrics
+                    .faults
+                    .shed_matches
+                    .fetch_add(shed, Ordering::Relaxed);
+                // shed objects still count as serviced for the throughput rate
+                self.metrics.throughput.record(batch.len() as u64);
+                return;
+            }
+        }
         let mut delivered = 0u64;
         let mut duplicates = 0u64;
         let objects = batch.len() as u64;
@@ -286,6 +323,69 @@ mod tests {
             metrics.matches_delivered.load(Ordering::Relaxed),
             total_objects
         );
+    }
+
+    #[test]
+    fn overload_shed_raises_the_watermark_and_keeps_dedup_sound() {
+        let metrics = SystemMetrics::new(1);
+        let (tx, rx) = unbounded::<MatchResult>();
+        let (match_tx, match_rx) = unbounded::<MergerMessage>();
+        let depth = match_rx.depth_handle();
+        let mut merger = Merger::new(Arc::clone(&metrics), Some(tx), 100).with_overload(depth, 0);
+        let emitter = Emitter::sink();
+        // a message waits behind the one being processed → backlog 1 > 0 → shed
+        match_tx.send(matches(99, &[1])).unwrap();
+        merger.process(matches(1, &[10]), &emitter);
+        assert_eq!(metrics.faults.shed_matches.load(Ordering::Relaxed), 1);
+        assert!(rx.try_recv().is_err(), "the shed match was not delivered");
+        // the backlog drains → merging resumes
+        let backlog = match_rx.recv().unwrap();
+        merger.process(backlog, &emitter);
+        assert_eq!(metrics.matches_delivered.load(Ordering::Relaxed), 1);
+        // a retransmitted copy of the shed match falls behind the raised
+        // watermark: suppressed as late traffic, never delivered as new
+        merger.process(matches(1, &[10]), &emitter);
+        assert_eq!(metrics.matches_delivered.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.duplicates_removed.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn worker_disconnect_mid_stream_neither_hangs_nor_double_delivers() {
+        // Two workers feed the same merger input channel; one dies (drops
+        // its sender) mid-stream. The merger's run loop must terminate once
+        // the survivor also finishes — not hang — and matches the dead
+        // worker already reported must still be deduplicated.
+        let metrics = SystemMetrics::new(1);
+        let (delivery_tx, delivery_rx) = unbounded::<MatchResult>();
+        let (tx_a, rx) = unbounded::<MergerMessage>();
+        let tx_b = tx_a.clone();
+        let thread_metrics = Arc::clone(&metrics);
+        let handle = std::thread::spawn(move || {
+            let mut merger = Merger::new(thread_metrics, Some(delivery_tx), 100);
+            let emitter = Emitter::sink();
+            for message in rx.iter() {
+                merger.process(message, &emitter);
+            }
+        });
+        // worker A delivers two matches, then disconnects mid-stream
+        tx_a.send(matches(1, &[10, 11])).unwrap();
+        drop(tx_a);
+        // worker B (replicated queries) re-reports one of A's matches and
+        // adds a new one, then finishes normally
+        tx_b.send(matches(1, &[10])).unwrap();
+        tx_b.send(matches(2, &[10])).unwrap();
+        drop(tx_b);
+        handle.join().expect("the merger run loop must terminate");
+        let delivered: Vec<MatchResult> = delivery_rx.try_iter().collect();
+        let mut unique: HashSet<(QueryId, ObjectId)> = HashSet::new();
+        for m in &delivered {
+            assert!(
+                unique.insert((m.query_id, m.object_id)),
+                "pair {m:?} delivered twice across the disconnect"
+            );
+        }
+        assert_eq!(delivered.len(), 3);
+        assert_eq!(metrics.duplicates_removed.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -23,6 +23,36 @@ pub struct MigrationMetrics {
     pub migration_time_us: AtomicU64,
 }
 
+/// Counters describing injected faults, supervised recoveries and overload
+/// shedding during a run. All zero in a fault-free run with the default
+/// `Block` overload policy.
+#[derive(Debug, Default)]
+pub struct FaultMetrics {
+    /// Worker crashes fired by the fault plan (in-memory index destroyed).
+    pub worker_crashes: AtomicU64,
+    /// Workers respawned (index restored from the supervisor's shadow log).
+    pub worker_respawns: AtomicU64,
+    /// Subscription updates re-applied from the shadow log during respawns.
+    pub restored_updates: AtomicU64,
+    /// Records parked during crash/wedge windows and replayed afterwards.
+    pub replayed_records: AtomicU64,
+    /// Records parked by wedge windows (stalls without state loss).
+    pub wedge_parks: AtomicU64,
+    /// Stream records dropped by the worker overload policy.
+    pub shed_records: AtomicU64,
+    /// Match results dropped by the merger overload policy.
+    pub shed_matches: AtomicU64,
+    /// Messages diverted (and later retransmitted) by drop/delay channel
+    /// shims. Shared with the shims, which only see the channel layer.
+    pub diverted_sends: Arc<AtomicU64>,
+    /// Executors whose input channel reported disconnection mid-run.
+    pub peer_disconnects: AtomicU64,
+    /// Workers that failed to answer a stats poll before its deadline.
+    pub liveness_suspects: AtomicU64,
+    /// Durable-store failures survived by degrading to non-durable mode.
+    pub persist_errors: AtomicU64,
+}
+
 /// All metrics of one PS2Stream run.
 #[derive(Debug)]
 pub struct SystemMetrics {
@@ -45,6 +75,8 @@ pub struct SystemMetrics {
     pub dispatcher_memory: AtomicUsize,
     /// Migration accounting.
     pub migration: MigrationMetrics,
+    /// Fault-injection, supervision and overload accounting.
+    pub faults: FaultMetrics,
 }
 
 impl SystemMetrics {
@@ -60,6 +92,7 @@ impl SystemMetrics {
             worker_memory: Mutex::new(vec![0; num_workers]),
             dispatcher_memory: AtomicUsize::new(0),
             migration: MigrationMetrics::default(),
+            faults: FaultMetrics::default(),
         })
     }
 
@@ -102,6 +135,51 @@ pub struct PersistenceReport {
     pub snapshots_written: u64,
 }
 
+/// Snapshot of [`FaultMetrics`] reported when a run finishes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Worker crashes fired by the fault plan.
+    pub worker_crashes: u64,
+    /// Workers respawned from the supervisor's shadow log.
+    pub worker_respawns: u64,
+    /// Subscription updates re-applied during respawns.
+    pub restored_updates: u64,
+    /// Records parked during crash/wedge windows and replayed afterwards.
+    pub replayed_records: u64,
+    /// Records parked by wedge windows.
+    pub wedge_parks: u64,
+    /// Stream records dropped by the worker overload policy.
+    pub shed_records: u64,
+    /// Match results dropped by the merger overload policy.
+    pub shed_matches: u64,
+    /// Messages diverted (and retransmitted) by drop/delay channel shims.
+    pub diverted_sends: u64,
+    /// Executors whose input channel reported disconnection mid-run.
+    pub peer_disconnects: u64,
+    /// Workers that missed a stats-poll deadline.
+    pub liveness_suspects: u64,
+    /// Durable-store failures survived by degrading to non-durable mode.
+    pub persist_errors: u64,
+}
+
+impl FaultReport {
+    fn from_metrics(faults: &FaultMetrics) -> Self {
+        Self {
+            worker_crashes: faults.worker_crashes.load(Ordering::Relaxed),
+            worker_respawns: faults.worker_respawns.load(Ordering::Relaxed),
+            restored_updates: faults.restored_updates.load(Ordering::Relaxed),
+            replayed_records: faults.replayed_records.load(Ordering::Relaxed),
+            wedge_parks: faults.wedge_parks.load(Ordering::Relaxed),
+            shed_records: faults.shed_records.load(Ordering::Relaxed),
+            shed_matches: faults.shed_matches.load(Ordering::Relaxed),
+            diverted_sends: faults.diverted_sends.load(Ordering::Relaxed),
+            peer_disconnects: faults.peer_disconnects.load(Ordering::Relaxed),
+            liveness_suspects: faults.liveness_suspects.load(Ordering::Relaxed),
+            persist_errors: faults.persist_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// The report produced when a run finishes.
 #[derive(Debug, Clone)]
 pub struct RunReport {
@@ -142,6 +220,9 @@ pub struct RunReport {
     /// Durability accounting (`Some` only for runs with durable
     /// subscriptions enabled; filled at shutdown).
     pub persistence: Option<PersistenceReport>,
+    /// Fault-injection, supervision and overload accounting (all zero on a
+    /// fault-free run with the default overload policy).
+    pub faults: FaultReport,
 }
 
 impl RunReport {
@@ -184,6 +265,7 @@ impl RunReport {
                 metrics.migration.migration_time_us.load(Ordering::Relaxed),
             ),
             persistence: None,
+            faults: FaultReport::from_metrics(&metrics.faults),
         }
     }
 
@@ -227,6 +309,20 @@ mod tests {
         assert_eq!(report.worker_memory[1], 4096);
         assert!(report.balance_factor() > 1.0);
         assert!(report.latency_breakdown.fast > 0.99);
+    }
+
+    #[test]
+    fn fault_counters_flow_into_the_report() {
+        let m = SystemMetrics::new(1);
+        let report = RunReport::from_metrics(&m, 0);
+        assert_eq!(report.faults, FaultReport::default());
+        m.faults.worker_crashes.fetch_add(1, Ordering::Relaxed);
+        m.faults.shed_records.fetch_add(42, Ordering::Relaxed);
+        m.faults.diverted_sends.fetch_add(3, Ordering::Relaxed);
+        let report = RunReport::from_metrics(&m, 0);
+        assert_eq!(report.faults.worker_crashes, 1);
+        assert_eq!(report.faults.shed_records, 42);
+        assert_eq!(report.faults.diverted_sends, 3);
     }
 
     #[test]

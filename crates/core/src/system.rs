@@ -7,12 +7,13 @@
 //! at the end of a run, collect the [`RunReport`] with the throughput,
 //! latency, memory and migration statistics the paper's figures report.
 
-use crate::config::SystemConfig;
+use crate::config::{OverloadPolicy, SystemConfig};
 use crate::controller::{AdjustmentController, ControllerTask};
 use crate::dispatcher::Dispatcher;
 use crate::merger::Merger;
 use crate::messages::{MergerMessage, WorkerCheckpoint, WorkerMessage};
 use crate::metrics::{PersistenceReport, RunReport, SystemMetrics};
+use crate::supervisor::{Supervisor, WorkerFaults};
 use crate::worker::Worker;
 use parking_lot::RwLock;
 use ps2stream_index::{Gi2Config, Gi2Index};
@@ -20,13 +21,39 @@ use ps2stream_model::{MatchResult, StreamRecord};
 use ps2stream_partition::{HybridPartitioner, Partitioner, RoutingTable, WorkloadSample};
 use ps2stream_persist::PersistentStore;
 use ps2stream_stream::{
-    bounded, Batch, BatchingEmitter, CpuTopology, Emitter, Envelope, PlacementPolicy, Runtime,
-    Sender, TaskHandle,
+    bounded, Batch, BatchingEmitter, CpuTopology, Emitter, Envelope, FaultPlan, FaultRole,
+    PlacementPolicy, Runtime, Sender, TaskHandle,
 };
 use ps2stream_text::TermStats;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// An error surfaced by the fallible lifecycle entry points
+/// ([`Ps2StreamBuilder::try_start`], [`RunningSystem::try_finish`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SystemError {
+    /// The builder was given neither a calibration sample nor an explicit
+    /// routing table, so no routing decision is possible.
+    MissingCalibration,
+    /// An executor panicked. The payload names it; the rest of the pipeline
+    /// was still drained and joined before this was returned, so the caller
+    /// can inspect metrics or relaunch instead of unwinding.
+    ExecutorPanicked(String),
+}
+
+impl std::fmt::Display for SystemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::MissingCalibration => f.write_str(
+                "Ps2StreamBuilder::start requires a calibration sample or an explicit routing table",
+            ),
+            Self::ExecutorPanicked(name) => write!(f, "executor '{name}' panicked"),
+        }
+    }
+}
+
+impl std::error::Error for SystemError {}
 
 /// Builds a PS2Stream deployment.
 pub struct Ps2StreamBuilder {
@@ -81,8 +108,18 @@ impl Ps2StreamBuilder {
     ///
     /// # Panics
     /// Panics if neither a routing table nor a calibration sample was
-    /// provided.
+    /// provided. Use [`Ps2StreamBuilder::try_start`] to get the failure as a
+    /// value instead.
     pub fn start(self) -> RunningSystem {
+        match self.try_start() {
+            Ok(system) => system,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// Like [`Ps2StreamBuilder::start`], but reports a missing calibration
+    /// source as [`SystemError::MissingCalibration`] instead of panicking.
+    pub fn try_start(self) -> Result<RunningSystem, SystemError> {
         let config = self.config;
         let (routing, seed_stats) = match (self.routing, self.sample) {
             (Some(routing), sample) => {
@@ -93,11 +130,14 @@ impl Ps2StreamBuilder {
                 let routing = self.partitioner.partition(&sample, config.num_workers);
                 (routing, Some(sample.object_stats().clone()))
             }
-            (None, None) => panic!(
-                "Ps2StreamBuilder::start requires a calibration sample or an explicit routing table"
-            ),
+            (None, None) => return Err(SystemError::MissingCalibration),
         };
-        RunningSystem::launch(config, routing, seed_stats, self.delivery)
+        Ok(RunningSystem::launch(
+            config,
+            routing,
+            seed_stats,
+            self.delivery,
+        ))
     }
 }
 
@@ -114,6 +154,9 @@ pub struct RunningSystem {
     routing: Arc<RwLock<RoutingTable>>,
     worker_txs: Vec<Sender<WorkerMessage>>,
     controller_stop: Arc<AtomicBool>,
+    /// Shared supervision state: the crash-recovery shadow log plus
+    /// heartbeat and peer-death bookkeeping (see [`Supervisor`]).
+    supervisor: Arc<Supervisor>,
     /// The execution substrate every executor below runs on. On the
     /// deterministic backend the executors make progress only while
     /// [`RunningSystem::finish`] joins them.
@@ -168,13 +211,38 @@ impl RunningSystem {
         let routing = Arc::new(RwLock::new(routing));
         let old_routing: Arc<RwLock<Option<RoutingTable>>> = Arc::new(RwLock::new(None));
 
+        // Fault injection: an empty plan behaves exactly like no plan. The
+        // shadow subscription log only costs anything when a worker crash is
+        // actually scheduled.
+        let faults: Option<FaultPlan> = config.faults.clone().filter(|plan| !plan.is_empty());
+        let shadow_enabled = faults.as_ref().is_some_and(|plan| {
+            (0..config.num_workers).any(|i| plan.crash_tick(FaultRole::Worker, i).is_some())
+        });
+        let supervisor = Supervisor::new(config.num_workers, shadow_enabled);
+
         // Durable subscriptions: open (and recover) the store before the
         // workers spawn, so a recovered snapshot's term statistics can stand
         // in for the calibration stats when no sample was provided. The
         // recovered updates themselves are replayed after the topology is up
         // (end of this function), through the normal dispatch path.
-        let mut store_state = config.durability.clone().map(|store_config| {
-            PersistentStore::open(store_config).expect("open the durable subscription store")
+        // An unopenable store degrades the run to non-durable instead of
+        // aborting it: matching is unaffected, the failure is logged and
+        // counted, and the report simply carries no persistence section.
+        let mut store_state = config.durability.clone().and_then(|store_config| {
+            match PersistentStore::open(store_config) {
+                Ok(opened) => Some(opened),
+                Err(error) => {
+                    eprintln!(
+                        "ps2stream: durable subscription store unavailable, \
+                         continuing non-durable: {error}"
+                    );
+                    metrics
+                        .faults
+                        .persist_errors
+                        .fetch_add(1, Ordering::Relaxed);
+                    None
+                }
+            }
         });
         let seed_stats = seed_stats.or_else(|| {
             store_state
@@ -207,7 +275,10 @@ impl RunningSystem {
         // mergers
         let mut mergers = Vec::with_capacity(config.num_mergers);
         for (i, rx) in merger_rxs.into_iter().enumerate() {
-            let merger = Merger::new(Arc::clone(&metrics), delivery.clone(), 100_000);
+            let mut merger = Merger::new(Arc::clone(&metrics), delivery.clone(), 100_000);
+            if let OverloadPolicy::ShedOldest { merger_mailbox, .. } = config.overload {
+                merger = merger.with_overload(rx.depth_handle(), merger_mailbox);
+            }
             mergers.push(runtime.spawn_operator(
                 format!("merger-{i}"),
                 merger,
@@ -218,6 +289,9 @@ impl RunningSystem {
         drop(delivery);
 
         // workers
+        let worker_merger_fault = faults
+            .as_ref()
+            .and_then(|plan| plan.edge_fault(FaultRole::Worker, FaultRole::Merger));
         let mut workers = Vec::with_capacity(config.num_workers);
         for (i, rx) in worker_rxs.into_iter().enumerate() {
             let mut index =
@@ -225,14 +299,55 @@ impl RunningSystem {
             if let Some(stats) = &seed_stats {
                 index.set_term_stats(stats.clone());
             }
-            let worker = Worker::new(
+            // worker → merger drop/delay faults ride a per-worker channel shim
+            let merger_txs = match (worker_merger_fault, &faults) {
+                (Some(fault), Some(plan)) => merger_txs
+                    .iter()
+                    .map(|tx| {
+                        tx.clone().with_fault(
+                            fault,
+                            plan.shim_seed(FaultRole::Worker, FaultRole::Merger, i),
+                            Arc::clone(&metrics.faults.diverted_sends),
+                        )
+                    })
+                    .collect(),
+                _ => merger_txs.clone(),
+            };
+            let mut worker = Worker::new(
                 ps2stream_model::WorkerId(i as u32),
                 index,
                 worker_txs.clone(),
-                merger_txs.clone(),
+                merger_txs,
                 Arc::clone(&metrics),
                 config.batch_size,
             );
+            if let OverloadPolicy::ShedOldest { worker_mailbox, .. } = config.overload {
+                worker = worker.with_overload(rx.depth_handle(), worker_mailbox);
+            }
+            if let Some(plan) = &faults {
+                // arm supervision on every worker (heartbeats stay cheap);
+                // the fault schedule itself is usually inert for most of them
+                let worker_faults = WorkerFaults {
+                    crash_at: plan.crash_tick(FaultRole::Worker, i),
+                    wedge: plan.wedge_window(FaultRole::Worker, i),
+                    recovery_lag: 3,
+                };
+                let rebuild_stats = seed_stats.clone();
+                let grid_exp = config.grid_exp;
+                worker = worker.with_supervision(
+                    Arc::clone(&supervisor),
+                    Arc::clone(&routing),
+                    Box::new(move || {
+                        let mut index =
+                            Gi2Index::new(Gi2Config::new(bounds).with_granularity_exp(grid_exp));
+                        if let Some(stats) = &rebuild_stats {
+                            index.set_term_stats(stats.clone());
+                        }
+                        index
+                    }),
+                    worker_faults,
+                );
+            }
             workers.push(runtime.spawn_operator(
                 format!("worker-{i}"),
                 worker,
@@ -243,6 +358,9 @@ impl RunningSystem {
         drop(merger_txs);
 
         // dispatchers
+        let dispatcher_worker_fault = faults
+            .as_ref()
+            .and_then(|plan| plan.edge_fault(FaultRole::Dispatcher, FaultRole::Worker));
         let mut dispatchers = Vec::with_capacity(config.num_dispatchers);
         for i in 0..config.num_dispatchers {
             let dispatcher = Dispatcher::new(
@@ -251,9 +369,25 @@ impl RunningSystem {
                 Arc::clone(&metrics),
                 config.num_workers,
                 config.batch_size,
-            );
+            )
+            .with_supervisor(Arc::clone(&supervisor));
             let rx = input_rx.clone();
-            let emitter = Emitter::new(worker_txs.clone());
+            // dispatcher → worker drop/delay faults ride a per-dispatcher shim
+            let emitter = match (dispatcher_worker_fault, &faults) {
+                (Some(fault), Some(plan)) => Emitter::new(
+                    worker_txs
+                        .iter()
+                        .map(|tx| {
+                            tx.clone().with_fault(
+                                fault,
+                                plan.shim_seed(FaultRole::Dispatcher, FaultRole::Worker, i),
+                                Arc::clone(&metrics.faults.diverted_sends),
+                            )
+                        })
+                        .collect(),
+                ),
+                _ => Emitter::new(worker_txs.clone()),
+            };
             dispatchers.push(runtime.spawn_operator(
                 format!("dispatcher-{i}"),
                 dispatcher,
@@ -275,7 +409,8 @@ impl RunningSystem {
                 worker_txs.clone(),
                 Arc::clone(&metrics),
                 Arc::clone(&controller_stop),
-            );
+            )
+            .with_supervisor(Arc::clone(&supervisor));
             if runtime.is_deterministic() {
                 let wake_on: Vec<&ps2stream_stream::Receiver<WorkerMessage>> = Vec::new();
                 runtime.spawn_task(
@@ -299,6 +434,7 @@ impl RunningSystem {
             routing,
             worker_txs,
             controller_stop,
+            supervisor,
             runtime,
             controller,
             dispatchers,
@@ -339,27 +475,46 @@ impl RunningSystem {
     /// log *before* they travel — a record the caller saw accepted is
     /// recoverable (subject to the configured fsync policy) even if the
     /// process dies immediately afterwards. Objects are transient stream
-    /// data and are never logged.
+    /// data and are never logged. A persistence failure (a full or yanked
+    /// disk) does not abort the run: the failure is logged and counted and
+    /// the system degrades to non-durable for the rest of the run.
     pub fn send(&mut self, record: StreamRecord) {
-        if let (Some(store), StreamRecord::Update(update)) = (&mut self.store, &record) {
-            let snapshot_due = store
-                .log_update(update)
-                .expect("append to the subscription op log");
-            if snapshot_due {
-                let registry = self.routing.read().registry_export();
-                store
-                    .snapshot_now(registry)
-                    .expect("write a subscription snapshot");
+        if let StreamRecord::Update(update) = &record {
+            let mut failure: Option<String> = None;
+            if let Some(store) = &mut self.store {
+                match store.log_update(update) {
+                    Ok(true) => {
+                        let registry = self.routing.read().registry_export();
+                        if let Err(error) = store.snapshot_now(registry) {
+                            failure = Some(format!("subscription snapshot failed: {error}"));
+                        }
+                    }
+                    Ok(false) => {}
+                    Err(error) => failure = Some(format!("op-log append failed: {error}")),
+                }
+            }
+            if let Some(why) = failure {
+                eprintln!("ps2stream: {why}; continuing non-durable");
+                self.metrics
+                    .faults
+                    .persist_errors
+                    .fetch_add(1, Ordering::Relaxed);
+                self.store = None;
             }
         }
         self.send_unlogged(record);
     }
 
     /// The input path proper: stamps, sequences and emits one record. Also
-    /// used to replay recovered updates, which must not be re-logged.
+    /// used to replay recovered updates, which must not be re-logged (but
+    /// must still reach the supervisor's shadow log: a worker crashing after
+    /// a durable restart recovers replayed subscriptions too).
     fn send_unlogged(&mut self, record: StreamRecord) {
         self.records_in += 1;
         self.sequence += 1;
+        if let StreamRecord::Update(update) = &record {
+            self.supervisor.observe_update(self.sequence, update);
+        }
         if let Some(input) = &mut self.input {
             input.emit_to(0, Envelope::now(self.sequence, record));
         }
@@ -395,7 +550,18 @@ impl RunningSystem {
     /// the joined group terminates, so migrations still land in the middle
     /// of the stream being drained.
     pub fn finish(self) -> RunReport {
-        self.shutdown(false).0
+        match self.shutdown(false) {
+            Ok((report, _)) => report,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// Like [`RunningSystem::finish`], but an executor panic is returned as
+    /// [`SystemError::ExecutorPanicked`] instead of unwinding: the rest of
+    /// the pipeline is still drained and joined first, so a supervising
+    /// caller can log the failure and relaunch.
+    pub fn try_finish(self) -> Result<RunReport, SystemError> {
+        self.shutdown(false).map(|(report, _)| report)
     }
 
     /// Like [`RunningSystem::finish`], additionally asking every worker for
@@ -404,7 +570,16 @@ impl RunningSystem {
     /// deployment converges to the same per-worker index state as a freshly
     /// routed one.
     pub fn finish_with_checkpoints(self) -> (RunReport, Vec<WorkerCheckpoint>) {
-        self.shutdown(true)
+        match self.shutdown(true) {
+            Ok(pair) => pair,
+            Err(error) => panic!("{error}"),
+        }
+    }
+
+    /// The shared supervision state (heartbeats, peer-death flags, the
+    /// crash-recovery shadow log). Chaos tests assert against this handle.
+    pub fn supervisor(&self) -> Arc<Supervisor> {
+        Arc::clone(&self.supervisor)
     }
 
     /// Simulates a hard process kill for the crash-injection tests: every
@@ -418,17 +593,28 @@ impl RunningSystem {
         self.store.take().map_or(0, PersistentStore::crash)
     }
 
-    fn shutdown(mut self, checkpoints: bool) -> (RunReport, Vec<WorkerCheckpoint>) {
+    fn shutdown(
+        mut self,
+        checkpoints: bool,
+    ) -> Result<(RunReport, Vec<WorkerCheckpoint>), SystemError> {
+        // Executor panics are *captured*, not propagated: the remaining
+        // stages still run, so the whole pipeline is drained and joined
+        // before the first failure is reported.
+        let mut panicked: Option<String> = None;
         // 1. flush the partial input batch, then close the input: dispatchers
         //    drain and terminate
         self.flush();
         self.input = None;
         let dispatchers = std::mem::take(&mut self.dispatchers);
-        self.runtime.join_tasks(&dispatchers);
+        if let Err(name) = self.runtime.try_join_tasks(&dispatchers) {
+            panicked.get_or_insert(name);
+        }
         // 2. stop the adjustment controller
         self.controller_stop.store(true, Ordering::Relaxed);
         if let Some(c) = self.controller.take() {
-            self.runtime.join_tasks(&[c]);
+            if let Err(name) = self.runtime.try_join_tasks(&[c]) {
+                panicked.get_or_insert(name);
+            }
         }
         // 3. tell the workers to drain and stop; checkpoint requests are
         //    queued first so each worker serializes its final index while
@@ -445,11 +631,31 @@ impl RunningSystem {
             let _ = tx.send(WorkerMessage::Shutdown);
         }
         let workers = std::mem::take(&mut self.workers);
-        self.runtime.join_tasks(&workers);
+        if let Err(name) = self.runtime.try_join_tasks(&workers) {
+            panicked.get_or_insert(name);
+        }
         self.worker_txs.clear();
         // 4. mergers terminate once every worker has dropped its senders
         let mergers = std::mem::take(&mut self.mergers);
-        self.runtime.join_tasks(&mergers);
+        if let Err(name) = self.runtime.try_join_tasks(&mergers) {
+            panicked.get_or_insert(name);
+        }
+        // DURABILITY: a clean shutdown leaves the entire log on disk — the
+        // next launch recovers from it without loss. A failing final sync is
+        // reported but does not replace an executor panic as the outcome.
+        let store = self.store.take().map(|mut store| {
+            if let Err(error) = store.sync() {
+                eprintln!("ps2stream: final op-log sync failed, the log tail may be lost: {error}");
+                self.metrics
+                    .faults
+                    .persist_errors
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+            store
+        });
+        if let Some(name) = panicked {
+            return Err(SystemError::ExecutorPanicked(name));
+        }
         self.metrics
             .dispatcher_memory
             .store(self.routing.read().memory_usage(), Ordering::Relaxed);
@@ -457,10 +663,7 @@ impl RunningSystem {
             checkpoint_rx.map_or_else(Vec::new, |rx| rx.try_iter().collect());
         collected.sort_by_key(|c| c.worker.0);
         let mut report = RunReport::from_metrics(&self.metrics, self.records_in);
-        if let Some(mut store) = self.store.take() {
-            // DURABILITY: a clean shutdown leaves the entire log on disk —
-            // the next launch recovers from it without loss.
-            store.sync().expect("sync the subscription op log");
+        if let Some(store) = store {
             report.persistence = Some(PersistenceReport {
                 recovered_ops: self.recovered_ops,
                 truncated_bytes: self.truncated_bytes,
@@ -471,7 +674,7 @@ impl RunningSystem {
                 snapshots_written: store.snapshots_written(),
             });
         }
-        (report, collected)
+        Ok((report, collected))
     }
 }
 

@@ -25,17 +25,55 @@
 
 use crate::messages::{MergerMessage, WorkerCheckpoint, WorkerMessage, WorkerStatsReport};
 use crate::metrics::SystemMetrics;
+use crate::supervisor::{Supervisor, WorkerFaults};
+use parking_lot::RwLock;
 use ps2stream_balance::{CellLoadInfo, TermLoad};
 use ps2stream_geo::CellId;
 use ps2stream_index::{Gi2Index, MatchScratch};
 use ps2stream_model::{MatchResult, QueryUpdate, StreamRecord, WorkerId};
-use ps2stream_partition::WorkerLoad;
-use ps2stream_stream::{Batch, BatchBuffer, Emitter, Envelope, Operator, Receiver, Sender};
+use ps2stream_partition::{RoutingTable, WorkerLoad};
+use ps2stream_stream::{
+    Batch, BatchBuffer, Emitter, Envelope, Operator, QueueDepth, Receiver, Sender,
+};
 use ps2stream_text::TermId;
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Supervision plumbing armed by the launcher when the system carries a
+/// fault plan: this worker's fault schedule, the recovery sources, and the
+/// parking buffer of an open fault window.
+struct Supervision {
+    supervisor: Arc<Supervisor>,
+    routing: Arc<RwLock<RoutingTable>>,
+    /// Builds a fresh (empty, stats-seeded) GI² index — what a respawned
+    /// worker starts from before the shadow-log replay.
+    rebuild: Box<dyn FnMut() -> Gi2Index + Send>,
+    faults: WorkerFaults,
+    /// Stream records admitted so far — the deterministic fault clock
+    /// (control messages do not tick).
+    records_seen: u64,
+    window: Option<FaultWindow>,
+    /// Records parked by the open window, in arrival order.
+    parked: Vec<Envelope<StreamRecord>>,
+}
+
+/// An open fault window. It closes when its last tick arrives, or early at
+/// drain/checkpoint/shutdown so no parked record is ever lost.
+enum FaultWindow {
+    /// A crash fired: the in-memory index is gone; restore it from the
+    /// supervisor's shadow log before replaying the parked records.
+    Recovering {
+        /// Tick (exclusive) at which the respawn completes.
+        until: u64,
+    },
+    /// A wedge fired: the worker stalls without state loss.
+    Wedged {
+        /// Tick (exclusive) at which the stall ends.
+        until: u64,
+    },
+}
 
 /// A worker executor.
 pub struct Worker {
@@ -76,6 +114,11 @@ pub struct Worker {
     shutdown_requested: bool,
     /// Terminate after the current message (drives [`Operator::wants_stop`]).
     stopped: bool,
+    /// Fault-injection and recovery plumbing (`None` on fault-free runs).
+    supervision: Option<Supervision>,
+    /// Shed-oldest overload policy: `(input backlog gauge, mailbox bound)`.
+    /// `None` keeps the historical blocking behaviour.
+    overload: Option<(QueueDepth, usize)>,
 }
 
 impl Worker {
@@ -107,7 +150,40 @@ impl Worker {
             parked: HashMap::new(),
             shutdown_requested: false,
             stopped: false,
+            supervision: None,
+            overload: None,
         }
+    }
+
+    /// Arms the supervised-recovery machinery: `faults` is this worker's
+    /// slice of the system fault plan, `rebuild` constructs the fresh index
+    /// a respawn starts from, and the supervisor's shadow log + the live
+    /// routing table are the recovery sources.
+    pub fn with_supervision(
+        mut self,
+        supervisor: Arc<Supervisor>,
+        routing: Arc<RwLock<RoutingTable>>,
+        rebuild: Box<dyn FnMut() -> Gi2Index + Send>,
+        faults: WorkerFaults,
+    ) -> Self {
+        self.supervision = Some(Supervision {
+            supervisor,
+            routing,
+            rebuild,
+            faults,
+            records_seen: 0,
+            window: None,
+            parked: Vec::new(),
+        });
+        self
+    }
+
+    /// Arms the shed-oldest overload policy: when a `Records` message is
+    /// dequeued while more than `mailbox` messages still wait in `depth`,
+    /// its objects are dropped (and counted) instead of matched.
+    pub fn with_overload(mut self, depth: QueueDepth, mailbox: usize) -> Self {
+        self.overload = Some((depth, mailbox));
+        self
     }
 
     /// The worker's GI² index (exposed for tests).
@@ -243,8 +319,181 @@ impl Worker {
         self.object_run.clear();
     }
 
+    /// Advances the fault clock for one routed record and applies this
+    /// worker's fault schedule. Returns the envelope when it should be
+    /// processed normally, or `None` when an open (or just-opened) fault
+    /// window parked it.
+    fn fault_admit(&mut self, envelope: Envelope<StreamRecord>) -> Option<Envelope<StreamRecord>> {
+        let Some(sup) = self.supervision.as_mut() else {
+            return Some(envelope);
+        };
+        if sup.faults.is_inert() && sup.window.is_none() {
+            return Some(envelope);
+        }
+        sup.records_seen += 1;
+        let tick = sup.records_seen;
+        if sup.window.is_none() {
+            if sup.faults.crash_at == Some(tick) {
+                // Fire the crash: the in-memory index dies here. Objects
+                // already admitted into the batched run but not yet matched
+                // die unprocessed with it — they park ahead of the trigger
+                // and replay after the restore, preserving arrival order.
+                sup.faults.crash_at = None;
+                sup.window = Some(FaultWindow::Recovering {
+                    until: tick.saturating_add(sup.faults.recovery_lag.max(1)),
+                });
+                sup.parked.append(&mut self.object_run);
+                let fresh = (sup.rebuild)();
+                self.index = fresh;
+                self.metrics
+                    .faults
+                    .worker_crashes
+                    .fetch_add(1, Ordering::Relaxed);
+            } else if sup.faults.wedge.is_some_and(|(at, _)| at == tick) {
+                let (_, duration) = sup.faults.wedge.take().expect("wedge checked above");
+                sup.window = Some(FaultWindow::Wedged {
+                    until: tick.saturating_add(duration.max(1)),
+                });
+            } else {
+                return Some(envelope);
+            }
+        }
+        // a window is open: park this record, closing the window once its
+        // last tick has arrived
+        let sup = self.supervision.as_mut().expect("armed above");
+        let (until, wedged) = match sup.window {
+            Some(FaultWindow::Recovering { until }) => (until, false),
+            Some(FaultWindow::Wedged { until }) => (until, true),
+            None => unreachable!("window opened or already open"),
+        };
+        sup.parked.push(envelope);
+        if wedged {
+            self.metrics
+                .faults
+                .wedge_parks
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        if tick.saturating_add(1) >= until {
+            self.close_fault_window();
+        }
+        None
+    }
+
+    /// Closes an open fault window (also called early at checkpoint /
+    /// shutdown / drain, so parked records are never lost): a recovering
+    /// worker first restores its index from the shadow log, then the parked
+    /// records replay in arrival order.
+    fn close_fault_window(&mut self) {
+        let Some(sup) = self.supervision.as_mut() else {
+            return;
+        };
+        let Some(window) = sup.window.take() else {
+            return;
+        };
+        let parked = std::mem::take(&mut sup.parked);
+        if matches!(window, FaultWindow::Recovering { .. }) {
+            // The shadow-log prefix strictly before the first parked record
+            // is exactly the update history the dead index had applied: the
+            // parked run contains no updates (an update always flushes the
+            // object run), and per-channel FIFO delivered every earlier
+            // update before the trigger.
+            let cutoff = parked.first().map_or(u64::MAX, |e| e.sequence);
+            self.respawn(cutoff);
+        }
+        self.metrics
+            .faults
+            .replayed_records
+            .fetch_add(parked.len() as u64, Ordering::Relaxed);
+        for envelope in parked {
+            self.process_record(envelope);
+        }
+        self.flush_matches();
+    }
+
+    /// Restores a crashed worker's index: replays the shadow-log prefix
+    /// below `cutoff` through the live routing table, re-applying exactly
+    /// the updates the dead index held (inserts routed to this worker, and
+    /// all deletions — deleting an absent query is a no-op, just as on the
+    /// dispatch path).
+    fn respawn(&mut self, cutoff: u64) {
+        let (updates, routing) = {
+            let Some(sup) = self.supervision.as_ref() else {
+                return;
+            };
+            (
+                sup.supervisor.updates_before(cutoff),
+                Arc::clone(&sup.routing),
+            )
+        };
+        let mut restored = 0u64;
+        {
+            let table = routing.read();
+            for (_, update) in updates {
+                match update {
+                    QueryUpdate::Insert(q) => {
+                        // `route_insert` is deterministic for a fixed table
+                        // and term statistics, and its H2 registration is
+                        // idempotent, so re-routing reproduces the original
+                        // dispatch decision.
+                        if table.route_insert(&q).contains(&self.id) {
+                            self.index.insert(q);
+                            restored += 1;
+                        }
+                    }
+                    QueryUpdate::Delete(q) => {
+                        self.index.delete(&q);
+                    }
+                }
+            }
+        }
+        self.metrics
+            .faults
+            .worker_respawns
+            .fetch_add(1, Ordering::Relaxed);
+        self.metrics
+            .faults
+            .restored_updates
+            .fetch_add(restored, Ordering::Relaxed);
+    }
+
+    /// Applies the shed-oldest overload policy to one dequeued `Records`
+    /// message: while the mailbox backlog exceeds the bound, the dequeued
+    /// (oldest) message's objects are dropped and counted. Subscription
+    /// updates are never shed — dropping one would silently diverge the
+    /// worker's query population from the subscribers' view.
+    fn shed_overload(&mut self, records: Batch<StreamRecord>) -> Option<Batch<StreamRecord>> {
+        let Some((depth, mailbox)) = &self.overload else {
+            return Some(records);
+        };
+        if depth.get() <= *mailbox {
+            return Some(records);
+        }
+        let mut kept = Batch::new();
+        let mut shed = 0u64;
+        for envelope in records {
+            if envelope.payload.is_object() {
+                shed += 1;
+            } else {
+                kept.push(envelope);
+            }
+        }
+        if shed > 0 {
+            self.metrics
+                .faults
+                .shed_records
+                .fetch_add(shed, Ordering::Relaxed);
+            // shed tuples finish (by being dropped) here: they count toward
+            // the service rate but record no latency
+            self.metrics.throughput.record(shed);
+        }
+        (!kept.is_empty()).then_some(kept)
+    }
+
     fn handle_records(&mut self, records: Batch<StreamRecord>) {
         for envelope in records {
+            let Some(envelope) = self.fault_admit(envelope) else {
+                continue;
+            };
             match &envelope.payload {
                 StreamRecord::Object(_) if self.parking_cell(&envelope.payload).is_none() => {
                     self.object_run.push(envelope);
@@ -388,8 +637,15 @@ impl Operator for Worker {
     type Out = ();
 
     fn process(&mut self, message: WorkerMessage, _emitter: &Emitter<()>) {
+        if let Some(sup) = &self.supervision {
+            sup.supervisor.heartbeat(self.id.index());
+        }
         match message {
-            WorkerMessage::Records(records) => self.handle_records(records),
+            WorkerMessage::Records(records) => {
+                if let Some(records) = self.shed_overload(records) {
+                    self.handle_records(records);
+                }
+            }
             WorkerMessage::MigrateCell { cell, terms, to } => {
                 self.handle_migrate_out(cell, terms, to)
             }
@@ -399,12 +655,18 @@ impl Operator for Worker {
                 let _ = reply.send(self.stats_report());
             }
             WorkerMessage::Checkpoint { reply } => {
+                // a checkpoint must capture a live index, not the empty
+                // stand-in of an open recovery window
+                self.close_fault_window();
                 let _ = reply.send(WorkerCheckpoint {
                     worker: self.id,
                     index_bytes: self.index.snapshot_bytes(),
                 });
             }
             WorkerMessage::Shutdown => {
+                // parked records of an open fault window replay before the
+                // worker terminates — no injected fault may lose a match
+                self.close_fault_window();
                 // Hand-offs still owed to this worker will complete (the
                 // source processes its MigrateCell before its own Shutdown),
                 // so defer termination until the parked records replay.
@@ -422,6 +684,11 @@ impl Operator for Worker {
     }
 
     fn finish(&mut self, _emitter: &Emitter<()>) {
+        // an input drain (every upstream sender gone) can also end the
+        // worker: replay any still-parked fault-window records first
+        self.close_fault_window();
+        self.flush_object_run();
+        self.flush_matches();
         // final accounting
         self.metrics
             .add_worker_load(self.id.index(), &self.period_load);
@@ -604,6 +871,204 @@ mod tests {
                 "object (sequence {sequence}) lost or gained matches across the flush"
             );
         }
+    }
+
+    /// A 1-worker routing table over the same bounds as [`gi2`].
+    fn routing_one_worker() -> Arc<RwLock<RoutingTable>> {
+        let grid = ps2stream_geo::UniformGrid::new(Rect::from_coords(0.0, 0.0, 16.0, 16.0), 8, 8);
+        let cells = vec![ps2stream_partition::CellRouting::Single(WorkerId(0)); grid.num_cells()];
+        Arc::new(RwLock::new(RoutingTable::new(
+            grid,
+            cells,
+            1,
+            Arc::new(ps2stream_text::TermStats::new()),
+            "test",
+        )))
+    }
+
+    #[test]
+    fn crash_recovery_replays_parked_records_without_loss() {
+        let metrics = SystemMetrics::new(1);
+        let (worker_tx, worker_rx) = unbounded::<WorkerMessage>();
+        let (merger_tx, merger_rx) = bounded::<MergerMessage>(64);
+        let supervisor = Supervisor::new(1, true);
+        let faults = WorkerFaults {
+            crash_at: Some(3),
+            wedge: None,
+            recovery_lag: 2,
+        };
+        let worker = Worker::new(
+            WorkerId(0),
+            gi2(),
+            vec![worker_tx.clone()],
+            vec![merger_tx],
+            Arc::clone(&metrics),
+            16,
+        )
+        .with_supervision(
+            Arc::clone(&supervisor),
+            routing_one_worker(),
+            Box::new(gi2),
+            faults,
+        );
+
+        // the insert both travels to the worker and lands in the shadow log
+        // (exactly what `RunningSystem::send` does)
+        let q = query(1, 7, Rect::from_coords(0.0, 0.0, 8.0, 8.0));
+        supervisor.observe_update(1, &QueryUpdate::Insert(q.clone()));
+        let mut batch = Batch::new();
+        batch.push(Envelope::now(
+            1,
+            StreamRecord::Update(QueryUpdate::Insert(q)),
+        ));
+        // ticks 2..=6; the crash fires at tick 3, destroying the index while
+        // the object of tick 2 still sits unmatched in the batched run
+        for seq in 2..=6u64 {
+            batch.push(Envelope::now(
+                seq,
+                StreamRecord::Object(object(seq, 7, 2.0, 2.0)),
+            ));
+        }
+        worker_tx.send(WorkerMessage::Records(batch)).unwrap();
+        worker_tx.send(WorkerMessage::Shutdown).unwrap();
+        let worker = worker.run(worker_rx);
+        assert_eq!(
+            worker.index().num_queries(),
+            1,
+            "the respawned index holds the restored query"
+        );
+
+        // every object matched exactly once, crash or not
+        let mut sequences = Vec::new();
+        while let Ok(MergerMessage::Matches(batch)) = merger_rx.try_recv() {
+            for record in batch.records() {
+                assert_eq!(record.payload.len(), 1);
+                sequences.push(record.sequence);
+            }
+        }
+        sequences.sort_unstable();
+        assert_eq!(
+            sequences,
+            vec![2, 3, 4, 5, 6],
+            "no object lost or duplicated across the crash"
+        );
+        assert_eq!(metrics.faults.worker_crashes.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.faults.worker_respawns.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.faults.restored_updates.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.faults.replayed_records.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn wedge_window_stalls_without_state_loss() {
+        let metrics = SystemMetrics::new(1);
+        let (worker_tx, worker_rx) = unbounded::<WorkerMessage>();
+        let (merger_tx, merger_rx) = bounded::<MergerMessage>(64);
+        let supervisor = Supervisor::new(1, false);
+        let faults = WorkerFaults {
+            crash_at: None,
+            wedge: Some((2, 2)),
+            recovery_lag: 0,
+        };
+        let worker = Worker::new(
+            WorkerId(0),
+            gi2(),
+            vec![worker_tx.clone()],
+            vec![merger_tx],
+            Arc::clone(&metrics),
+            16,
+        )
+        .with_supervision(supervisor, routing_one_worker(), Box::new(gi2), faults);
+
+        let mut batch = Batch::new();
+        batch.push(Envelope::now(
+            1,
+            StreamRecord::Update(QueryUpdate::Insert(query(
+                1,
+                7,
+                Rect::from_coords(0.0, 0.0, 8.0, 8.0),
+            ))),
+        ));
+        for seq in 2..=5u64 {
+            batch.push(Envelope::now(
+                seq,
+                StreamRecord::Object(object(seq, 7, 2.0, 2.0)),
+            ));
+        }
+        worker_tx.send(WorkerMessage::Records(batch)).unwrap();
+        worker_tx.send(WorkerMessage::Shutdown).unwrap();
+        worker.run(worker_rx);
+
+        let mut sequences = Vec::new();
+        while let Ok(MergerMessage::Matches(batch)) = merger_rx.try_recv() {
+            for record in batch.records() {
+                sequences.push(record.sequence);
+            }
+        }
+        sequences.sort_unstable();
+        assert_eq!(
+            sequences,
+            vec![2, 3, 4, 5],
+            "the wedge delays but never drops"
+        );
+        assert_eq!(metrics.faults.wedge_parks.load(Ordering::Relaxed), 2);
+        assert_eq!(metrics.faults.worker_crashes.load(Ordering::Relaxed), 0);
+        assert_eq!(metrics.faults.worker_respawns.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn overload_sheds_objects_but_never_subscription_updates() {
+        let metrics = SystemMetrics::new(1);
+        let (worker_tx, worker_rx) = unbounded::<WorkerMessage>();
+        let (merger_tx, merger_rx) = bounded::<MergerMessage>(16);
+        // the backlog gauge reads the worker's own input channel; bound 0
+        // sheds whenever anything else is still waiting
+        let depth = worker_rx.depth_handle();
+        let worker = Worker::new(
+            WorkerId(0),
+            gi2(),
+            vec![worker_tx.clone()],
+            vec![merger_tx],
+            Arc::clone(&metrics),
+            16,
+        )
+        .with_overload(depth, 0);
+
+        // everything queued before the worker runs: each Records message is
+        // dequeued with a non-empty backlog behind it, so its objects shed —
+        // but the subscription insert must survive
+        let mut first = Batch::new();
+        first.push(Envelope::now(
+            1,
+            StreamRecord::Update(QueryUpdate::Insert(query(
+                1,
+                7,
+                Rect::from_coords(0.0, 0.0, 8.0, 8.0),
+            ))),
+        ));
+        first.push(Envelope::now(
+            2,
+            StreamRecord::Object(object(2, 7, 2.0, 2.0)),
+        ));
+        worker_tx.send(WorkerMessage::Records(first)).unwrap();
+        worker_tx
+            .send(WorkerMessage::Records(Batch::of_one(Envelope::now(
+                3,
+                StreamRecord::Object(object(3, 7, 2.0, 2.0)),
+            ))))
+            .unwrap();
+        worker_tx.send(WorkerMessage::Shutdown).unwrap();
+        let worker = worker.run(worker_rx);
+
+        assert_eq!(
+            worker.index().num_queries(),
+            1,
+            "subscription updates are never shed"
+        );
+        assert!(
+            merger_rx.try_recv().is_err(),
+            "both objects were shed before matching"
+        );
+        assert_eq!(metrics.faults.shed_records.load(Ordering::Relaxed), 2);
     }
 
     #[test]

@@ -199,6 +199,30 @@ impl PersistentStore {
         ))
     }
 
+    /// Recovers the durable state **read-only**: loads the latest snapshot
+    /// and the valid log prefix without opening the log for writing or
+    /// truncating torn tails. Chaos and audit tooling uses this to inspect
+    /// what a (possibly crashed) run left behind without mutating it —
+    /// [`RecoveredState::live_queries`] then gives the implied live set.
+    pub fn peek(config: &StoreConfig) -> std::io::Result<RecoveredState> {
+        let log_path = config.dir.join(LOG_FILE);
+        let snapshot = load_latest_snapshot(&config.dir);
+        let watermark = snapshot.as_ref().map_or(0, |s| s.watermark);
+        let loaded = load_log(&log_path)?;
+        let truncated_bytes = loaded.total_bytes - loaded.valid_bytes;
+        let tail: Vec<LoggedOp> = loaded
+            .ops
+            .iter()
+            .filter(|op| op.seq > watermark)
+            .cloned()
+            .collect();
+        Ok(RecoveredState {
+            snapshot,
+            tail,
+            truncated_bytes,
+        })
+    }
+
     /// Seeds the term statistics persisted with future snapshots (typically
     /// the calibration-sample stats the routing table was built from).
     pub fn set_stats(&mut self, stats: TermStats) {

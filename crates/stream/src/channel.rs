@@ -15,12 +15,14 @@
 //! capacity semantics per backend), so swapping backends never changes
 //! operator code.
 
+use crate::fault::EdgeFault;
 use crossbeam_channel as cb;
 pub use crossbeam_channel::{RecvError, RecvTimeoutError, SendError, TryRecvError, TrySendError};
 use parking_lot::Mutex;
+use std::collections::VecDeque;
 use std::fmt;
 use std::mem::ManuallyDrop;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -61,6 +63,55 @@ pub(crate) struct Hooks {
     /// Live `Sender` clones; the drop of the last one fires the wakers so a
     /// parked task can observe the disconnection and finish.
     senders: AtomicUsize,
+    /// Messages queued (maintained by the wrapper's send/recv paths): the
+    /// backlog gauge the overload policy reads without holding an endpoint.
+    depth: AtomicUsize,
+}
+
+/// A cloneable backlog gauge for one channel, detached from both endpoints:
+/// holding one neither keeps the channel connected nor consumes messages.
+/// Operators use it to observe their own mailbox depth for overload
+/// shedding.
+#[derive(Clone)]
+pub struct QueueDepth {
+    hooks: Arc<Hooks>,
+}
+
+impl QueueDepth {
+    /// Messages currently queued in the channel.
+    pub fn get(&self) -> usize {
+        self.hooks.depth.load(Ordering::Relaxed)
+    }
+}
+
+impl fmt::Debug for QueueDepth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "QueueDepth({})", self.get())
+    }
+}
+
+/// The seeded drop/delay shim state shared by the clones of one faulted
+/// sender (see [`Sender::with_fault`]).
+struct FaultShim<T> {
+    /// Diversion probability in parts per million.
+    p_ppm: u32,
+    /// How many later sends pass before a diverted message is retransmitted.
+    redeliver_after: u64,
+    /// splitmix64 state for the per-send diversion coin.
+    rng: Mutex<u64>,
+    /// Diverted messages awaiting retransmission, with their due send count.
+    held: Mutex<VecDeque<(u64, T)>>,
+    /// Sends observed on this shim (the clock `held` entries are due by).
+    sent: AtomicU64,
+    /// Observability: total messages diverted (shared with the metrics).
+    diverted: Arc<AtomicU64>,
+}
+
+impl<T> FaultShim<T> {
+    fn coin(&self) -> bool {
+        let mut state = self.rng.lock();
+        (crate::coop::splitmix64(&mut state) % 1_000_000) < u64::from(self.p_ppm)
+    }
 }
 
 /// The sending half of a channel (see [`bounded`] / [`unbounded`]).
@@ -70,6 +121,8 @@ pub struct Sender<T> {
     /// `Empty` instead of `Disconnected`, park again, and never wake.
     inner: ManuallyDrop<cb::Sender<T>>,
     hooks: Arc<Hooks>,
+    /// Optional seeded drop/delay shim (fault injection).
+    fault: Option<Arc<FaultShim<T>>>,
 }
 
 /// The receiving half of a channel (see [`bounded`] / [`unbounded`]).
@@ -82,11 +135,13 @@ fn wrap<T>(pair: (cb::Sender<T>, cb::Receiver<T>)) -> (Sender<T>, Receiver<T>) {
     let hooks = Arc::new(Hooks {
         slot: NotifySlot::default(),
         senders: AtomicUsize::new(1),
+        depth: AtomicUsize::new(0),
     });
     (
         Sender {
             inner: ManuallyDrop::new(pair.0),
             hooks: Arc::clone(&hooks),
+            fault: None,
         },
         Receiver {
             inner: pair.1,
@@ -108,16 +163,76 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
 impl<T> Sender<T> {
     /// Sends a message, blocking while the channel is full.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        self.inner.send(value)?;
+        if let Some(fault) = &self.fault {
+            let now = fault.sent.fetch_add(1, Ordering::Relaxed) + 1;
+            self.flush_due(fault, now)?;
+            if fault.coin() {
+                fault
+                    .held
+                    .lock()
+                    .push_back((now + fault.redeliver_after, value));
+                fault.diverted.fetch_add(1, Ordering::Relaxed);
+                return Ok(());
+            }
+        }
+        self.send_inner(value)
+    }
+
+    /// Sends a message without blocking. Fault shims do not apply here: the
+    /// non-blocking path is used for control traffic that must not reorder.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        self.inner.try_send(value)?;
+        self.hooks.depth.fetch_add(1, Ordering::Relaxed);
         self.hooks.slot.notify();
         Ok(())
     }
 
-    /// Sends a message without blocking.
-    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
-        self.inner.try_send(value)?;
+    fn send_inner(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner.send(value)?;
+        self.hooks.depth.fetch_add(1, Ordering::Relaxed);
         self.hooks.slot.notify();
         Ok(())
+    }
+
+    /// Retransmits every held message whose due send count has passed.
+    fn flush_due(&self, fault: &FaultShim<T>, now: u64) -> Result<(), SendError<T>> {
+        loop {
+            let due = {
+                let mut held = fault.held.lock();
+                match held.front() {
+                    Some((due, _)) if *due <= now => held.pop_front().map(|(_, m)| m),
+                    _ => None,
+                }
+            };
+            match due {
+                Some(message) => self.send_inner(message)?,
+                None => return Ok(()),
+            }
+        }
+    }
+
+    /// Wraps this sender in a seeded drop/delay shim: each blocking `send`
+    /// is diverted with probability `fault.p_ppm` ppm and retransmitted
+    /// after `fault.redeliver_after` later sends (or when the last clone of
+    /// this shimmed sender drops) — a loss-masking "network drop" that
+    /// reorders but never loses messages. Clones share the shim state.
+    pub fn with_fault(mut self, fault: EdgeFault, seed: u64, diverted: Arc<AtomicU64>) -> Self {
+        self.fault = Some(Arc::new(FaultShim {
+            p_ppm: fault.p_ppm,
+            redeliver_after: fault.redeliver_after,
+            rng: Mutex::new(seed),
+            held: Mutex::new(VecDeque::new()),
+            sent: AtomicU64::new(0),
+            diverted,
+        }));
+        self
+    }
+
+    /// A backlog gauge for this channel (see [`QueueDepth`]).
+    pub fn depth_handle(&self) -> QueueDepth {
+        QueueDepth {
+            hooks: Arc::clone(&self.hooks),
+        }
     }
 
     /// Number of messages currently queued.
@@ -135,28 +250,52 @@ impl<T> Receiver<T> {
     /// Receives a message, blocking until one is available or every sender
     /// is dropped.
     pub fn recv(&self) -> Result<T, RecvError> {
-        self.inner.recv()
+        let value = self.inner.recv()?;
+        self.note_dequeued();
+        Ok(value)
     }
 
     /// Receives a message without blocking.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        self.inner.try_recv()
+        let value = self.inner.try_recv()?;
+        self.note_dequeued();
+        Ok(value)
     }
 
     /// Receives a message, giving up after `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
-        self.inner.recv_timeout(timeout)
+        let value = self.inner.recv_timeout(timeout)?;
+        self.note_dequeued();
+        Ok(value)
+    }
+
+    fn note_dequeued(&self) {
+        // saturating: a reader that raced a send counted on another clone
+        // must never wrap the gauge
+        let _ = self
+            .hooks
+            .depth
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                Some(d.saturating_sub(1))
+            });
     }
 
     /// A blocking iterator ending when the channel is disconnected and
     /// drained.
-    pub fn iter(&self) -> cb::Iter<'_, T> {
-        self.inner.iter()
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { rx: self }
     }
 
     /// A non-blocking iterator over currently available messages.
-    pub fn try_iter(&self) -> cb::TryIter<'_, T> {
-        self.inner.try_iter()
+    pub fn try_iter(&self) -> TryIter<'_, T> {
+        TryIter { rx: self }
+    }
+
+    /// A backlog gauge for this channel (see [`QueueDepth`]).
+    pub fn depth_handle(&self) -> QueueDepth {
+        QueueDepth {
+            hooks: Arc::clone(&self.hooks),
+        }
     }
 
     /// Number of messages currently queued.
@@ -188,12 +327,24 @@ impl<T> Clone for Sender<T> {
         Self {
             inner: ManuallyDrop::new((*self.inner).clone()),
             hooks: Arc::clone(&self.hooks),
+            fault: self.fault.clone(),
         }
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
+        // Loss masking: every dropping clone retransmits whatever the shared
+        // shim still holds while its own inner sender is alive, so the final
+        // clone's drop leaves nothing diverted behind the disconnect.
+        if let Some(fault) = self.fault.take() {
+            let mut held = fault.held.lock();
+            while let Some((_, message)) = held.pop_front() {
+                if self.send_inner(message).is_err() {
+                    break; // receiver gone: nothing left to mask
+                }
+            }
+        }
         // Disconnect the inner sender FIRST: a waker fired before the
         // channel reports `Disconnected` would let the receiving task poll
         // `Empty`, park again, and sleep forever (the notification below is
@@ -205,6 +356,30 @@ impl<T> Drop for Sender<T> {
             // the disconnection and run their `finish`
             self.hooks.slot.notify();
         }
+    }
+}
+
+/// Blocking iterator over a [`Receiver`] (see [`Receiver::iter`]).
+pub struct Iter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.recv().ok()
+    }
+}
+
+/// Non-blocking iterator over a [`Receiver`] (see [`Receiver::try_iter`]).
+pub struct TryIter<'a, T> {
+    rx: &'a Receiver<T>,
+}
+
+impl<T> Iterator for TryIter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.rx.try_recv().ok()
     }
 }
 
@@ -231,7 +406,7 @@ impl<T> fmt::Debug for Receiver<T> {
 
 impl<'a, T> IntoIterator for &'a Receiver<T> {
     type Item = T;
-    type IntoIter = cb::Iter<'a, T>;
+    type IntoIter = Iter<'a, T>;
     fn into_iter(self) -> Self::IntoIter {
         self.iter()
     }
@@ -270,6 +445,73 @@ mod tests {
         drop(tx2);
         assert_eq!(fired.load(Ordering::SeqCst), 1, "disconnect must wake");
         assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn depth_gauge_tracks_backlog() {
+        let (tx, rx) = unbounded::<u32>();
+        let gauge = rx.depth_handle();
+        assert_eq!(gauge.get(), 0);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(gauge.get(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(gauge.get(), 1);
+        let drained: Vec<u32> = rx.try_iter().collect();
+        assert_eq!(drained, vec![2]);
+        assert_eq!(gauge.get(), 0);
+        // holding the gauge does not keep the channel connected
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn fault_shim_reorders_but_never_loses() {
+        let diverted = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = unbounded::<u32>();
+        let tx = tx.with_fault(
+            EdgeFault {
+                p_ppm: 500_000,
+                redeliver_after: 3,
+            },
+            7,
+            Arc::clone(&diverted),
+        );
+        const N: u32 = 200;
+        for i in 0..N {
+            tx.send(i).unwrap();
+        }
+        drop(tx); // flushes anything still held
+        let mut got: Vec<u32> = rx.iter().collect();
+        assert!(
+            diverted.load(Ordering::SeqCst) > 0,
+            "p=0.5 over 200 sends must divert something"
+        );
+        assert_ne!(got, (0..N).collect::<Vec<_>>(), "some reorder expected");
+        got.sort_unstable();
+        assert_eq!(got, (0..N).collect::<Vec<_>>(), "no loss, no duplication");
+    }
+
+    #[test]
+    fn fault_shim_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<u32> {
+            let (tx, rx) = unbounded::<u32>();
+            let tx = tx.with_fault(
+                EdgeFault {
+                    p_ppm: 200_000,
+                    redeliver_after: 2,
+                },
+                seed,
+                Arc::new(AtomicU64::new(0)),
+            );
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            rx.iter().collect()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
     }
 
     #[test]

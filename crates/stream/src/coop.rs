@@ -298,19 +298,17 @@ impl PoolRuntime {
         id
     }
 
-    /// Blocks the calling thread until every listed task is `Done`.
-    ///
-    /// # Panics
-    /// Panics (propagating the name) if any pooled task panicked.
-    pub(crate) fn join(&self, ids: &[usize]) {
+    /// Blocks until every listed task is `Done`; a pooled-task panic is
+    /// returned as `Err(task name)` instead of unwinding the caller, so a
+    /// supervisor can capture the failure and keep the pipeline alive.
+    pub(crate) fn try_join(&self, ids: &[usize]) -> Result<(), String> {
         let mut state = lock(&self.shared.state);
         loop {
             if let Some(name) = state.panicked.clone() {
-                drop(state); // release before unwinding so Drop can re-lock
-                panic!("executor '{name}' panicked");
+                return Err(name);
             }
             if ids.iter().all(|id| state.tasks[*id].status == Status::Done) {
-                return;
+                return Ok(());
             }
             state = wait(&self.shared.progress, state);
         }
@@ -401,7 +399,7 @@ fn pool_thread(shared: &Arc<PoolShared>) {
 
 /// One SplitMix64 step — the seeded scheduler's pick function. Self-contained
 /// so the stream crate needs no RNG dependency.
-fn splitmix64(state: &mut u64) -> u64 {
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -429,6 +427,15 @@ pub(crate) struct SimRuntime {
     /// the poll count is a pure function of (workload, seed), so "crash
     /// after N polls" is a reproducible point in the schedule.
     fuel: Option<u64>,
+    /// Scheduling steps taken so far (the clock `stalls` windows are
+    /// expressed in).
+    steps: u64,
+    /// Scheduler-level wedges: `(task, from_step, until_step)` windows in
+    /// which the task, when picked, is skipped instead of polled — a wedged
+    /// operator whose mailbox piles up and drains afterwards. Part of the
+    /// fault-injection layer; deterministic because the step counter and the
+    /// pick sequence are pure functions of (workload, seed).
+    stalls: Vec<(usize, u64, u64)>,
 }
 
 impl SimRuntime {
@@ -440,6 +447,8 @@ impl SimRuntime {
             // seed→schedule mapping per seed
             rng: seed ^ 0x5DEE_CE66_D1CE_1CEB,
             fuel: None,
+            steps: 0,
+            stalls: Vec::new(),
         }
     }
 
@@ -465,6 +474,14 @@ impl SimRuntime {
             }
             let slot = (splitmix64(&mut self.rng) % self.alive.len() as u64) as usize;
             let pick = self.alive[slot];
+            self.steps += 1;
+            if self
+                .stalls
+                .iter()
+                .any(|(t, from, until)| *t == pick && (*from..*until).contains(&self.steps))
+            {
+                continue; // wedged: skip the poll, keep the schedule moving
+            }
             let mut task = self.tasks[pick].slot.take().expect("alive task has a box");
             match task.poll() {
                 // dropping the task disconnects its output senders so
@@ -488,6 +505,14 @@ impl SimRuntime {
 
     pub(crate) fn fuel_remaining(&self) -> Option<u64> {
         self.fuel
+    }
+
+    /// Wedges `task` for the scheduling-step window
+    /// `[after_steps, after_steps + for_steps)`: when picked inside the
+    /// window it is skipped instead of polled (its mailbox keeps filling).
+    pub(crate) fn stall_task(&mut self, task: usize, after_steps: u64, for_steps: u64) {
+        self.stalls
+            .push((task, after_steps, after_steps.saturating_add(for_steps)));
     }
 }
 
@@ -551,23 +576,9 @@ mod tests {
             in_tx.send(i).unwrap();
         }
         drop(in_tx);
-        pool.join(&[first, second]);
+        pool.try_join(&[first, second]).unwrap();
         let got: Vec<u64> = out_rx.try_iter().collect();
         assert_eq!(got, (11..111).collect::<Vec<u64>>());
-    }
-
-    #[test]
-    #[should_panic(expected = "executor 'boom' panicked")]
-    fn pool_propagates_task_panics_at_join() {
-        struct Boom;
-        impl PollTask for Boom {
-            fn poll(&mut self) -> TaskPoll {
-                panic!("kaboom");
-            }
-        }
-        let pool = PoolRuntime::with_placement(1, None);
-        let id = pool.spawn("boom".into(), Box::new(Boom), &[]);
-        pool.join(&[id]);
     }
 
     #[test]
@@ -604,6 +615,59 @@ mod tests {
         assert_eq!(
             full, partial,
             "a fuel pause must not perturb the seeded schedule"
+        );
+    }
+
+    #[test]
+    fn pool_try_join_reports_panics_without_unwinding() {
+        struct Boom;
+        impl PollTask for Boom {
+            fn poll(&mut self) -> TaskPoll {
+                panic!("kaboom");
+            }
+        }
+        let pool = PoolRuntime::with_placement(1, None);
+        let id = pool.spawn("boom".into(), Box::new(Boom), &[]);
+        assert_eq!(pool.try_join(&[id]), Err("boom".to_string()));
+    }
+
+    #[test]
+    fn sim_stall_window_preserves_the_delivered_set() {
+        fn run(seed: u64, stall: Option<(u64, u64)>) -> Vec<u64> {
+            let (log_tx, log_rx) = unbounded::<u64>();
+            let mut sim = SimRuntime::new(seed);
+            let mut ids = Vec::new();
+            for tag in [100u64, 200u64] {
+                let (tx, rx) = unbounded::<u64>();
+                for i in 0..20 {
+                    tx.send(i).unwrap();
+                }
+                drop(tx);
+                ids.push(sim.spawn(Box::new(Forwarder {
+                    input: rx,
+                    output: Some(log_tx.clone()),
+                    tag,
+                })));
+            }
+            drop(log_tx);
+            if let Some((after, dur)) = stall {
+                sim.stall_task(ids[0], after, dur);
+            }
+            sim.run_until(&ids);
+            log_rx.try_iter().collect()
+        }
+        let free = run(7, None);
+        let wedged = run(7, Some((3, 50)));
+        let again = run(7, Some((3, 50)));
+        assert_eq!(wedged, again, "a stalled schedule must still be seeded");
+        let canon = |mut v: Vec<u64>| {
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(
+            canon(free),
+            canon(wedged),
+            "a wedge delays but never drops deliveries"
         );
     }
 

@@ -40,15 +40,17 @@ pub mod batch;
 pub mod channel;
 pub mod coop;
 pub mod envelope;
+pub mod fault;
 pub mod metrics;
 pub mod operator;
 pub mod runtime;
 pub mod topology;
 
 pub use batch::{Batch, BatchBuffer, BatchingEmitter};
-pub use channel::{bounded, unbounded, Receiver, Sender};
+pub use channel::{bounded, unbounded, QueueDepth, Receiver, Sender, TryRecvError};
 pub use coop::{PollTask, TaskPoll};
 pub use envelope::Envelope;
+pub use fault::{EdgeFault, FaultPlan, FaultRole, FaultSpec};
 pub use metrics::{LatencyBreakdown, LatencyRecorder, ThroughputMeter};
 pub use operator::{run_operator, Emitter, Operator};
 pub use runtime::{CoopConfig, PlacementPolicy, Runtime, RuntimeBackend, TaskHandle};

@@ -45,6 +45,17 @@ impl<T> Emitter<T> {
         }
     }
 
+    /// Like [`Emitter::emit_to`], but reports whether the message was
+    /// accepted: `false` means the downstream receiver has disconnected — a
+    /// peer-death signal the caller can forward to the supervisor instead of
+    /// losing it to the silent-drop shutdown convention.
+    pub fn emit_to_checked(&self, index: usize, message: T) -> bool {
+        match self.outputs.get(index) {
+            Some(tx) => tx.send(message).is_ok(),
+            None => false,
+        }
+    }
+
     /// Attempts to send without blocking; returns the message back if the
     /// channel is full.
     pub fn try_emit_to(&self, index: usize, message: T) -> Result<(), T> {

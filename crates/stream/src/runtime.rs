@@ -452,14 +452,26 @@ impl Runtime {
     /// # Panics
     /// Panics with the executor's name if it panicked.
     pub fn join_tasks(&mut self, handles: &[TaskHandle]) {
+        if let Err(name) = self.try_join_tasks(handles) {
+            panic!("executor '{name}' panicked");
+        }
+    }
+
+    /// [`Runtime::join_tasks`] with panic *capture* instead of propagation:
+    /// an executor panic is returned as `Err(executor name)` so a supervisor
+    /// can record the failure and keep shutting the pipeline down instead of
+    /// aborting the process. On `Err`, every listed handle has still been
+    /// joined (or the backend has stopped scheduling).
+    pub fn try_join_tasks(&mut self, handles: &[TaskHandle]) -> Result<(), String> {
         let mut coop_ids = Vec::new();
+        let mut failed: Option<String> = None;
         for handle in handles {
             match handle.0 {
                 Handle::Coop(id) => coop_ids.push(id),
                 Handle::Thread(index) => {
                     if let Some((name, join)) = self.threads[index].take() {
-                        if join.join().is_err() {
-                            panic!("executor '{name}' panicked");
+                        if join.join().is_err() && failed.is_none() {
+                            failed = Some(name);
                         }
                     }
                 }
@@ -468,9 +480,41 @@ impl Runtime {
         if !coop_ids.is_empty() {
             match &mut self.inner {
                 Inner::Threads => unreachable!("coop handle on the thread backend"),
-                Inner::Pool(pool) => pool.join(&coop_ids),
-                Inner::Sim(sim) => sim.run_until(&coop_ids),
+                Inner::Pool(pool) => {
+                    if let (Err(name), None) = (pool.try_join(&coop_ids), &failed) {
+                        failed = Some(name);
+                    }
+                }
+                Inner::Sim(sim) => {
+                    // a sim task panic unwinds on this (driving) thread;
+                    // capture it so the supervisor sees it like a pool panic
+                    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        sim.run_until(&coop_ids)
+                    }));
+                    if caught.is_err() && failed.is_none() {
+                        failed = Some("sim task".to_string());
+                    }
+                }
             }
+        }
+        match failed {
+            Some(name) => Err(name),
+            None => Ok(()),
+        }
+    }
+
+    /// Wedges a deterministic-sim task for a window of scheduling steps
+    /// (see the fault-injection layer): when the seeded scheduler picks the
+    /// task inside `[after_steps, after_steps + for_steps)` it is skipped
+    /// instead of polled, so its mailbox piles up and drains afterwards.
+    /// Returns false (and does nothing) on non-sim backends.
+    pub fn sim_stall(&mut self, handle: TaskHandle, after_steps: u64, for_steps: u64) -> bool {
+        match (&mut self.inner, handle.0) {
+            (Inner::Sim(sim), Handle::Coop(id)) => {
+                sim.stall_task(id, after_steps, for_steps);
+                true
+            }
+            _ => false,
         }
     }
 

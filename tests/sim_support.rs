@@ -9,6 +9,7 @@ use std::collections::HashSet;
 /// A hot-spot workload (all queries and objects in one small region) so a
 /// grid-partitioned deployment starts imbalanced and the adjustment
 /// controller must migrate cells while the stream is in flight.
+#[allow(dead_code)] // not every suite drives the migration scenario
 pub fn skewed_sample(n_objects: usize, n_queries: usize, seed: u64) -> WorkloadSample {
     let spec = DatasetSpec::tweets_us();
     let mut corpus = CorpusGenerator::new(spec.clone(), seed);
